@@ -1,0 +1,78 @@
+// Command datagen generates the synthetic datasets used by the
+// reproduction and writes them in the binary format cmd/idxpredict
+// reads.
+//
+// Usage:
+//
+//	datagen -spec texture60 -scale 0.1 -out texture60.hdx
+//	datagen -spec uniform -n 100000 -dim 8 -out unif8.hdx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"hdidx/internal/dataset"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "texture60", "dataset: color64, texture48, texture60, isolet617, stock360, or uniform")
+		n        = flag.Int("n", 0, "number of points (uniform only; specs use their paper cardinality)")
+		dim      = flag.Int("dim", 8, "dimensionality (uniform only)")
+		scale    = flag.Float64("scale", 1.0, "scale factor on the spec's cardinality")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var d *dataset.Dataset
+	switch strings.ToLower(*specName) {
+	case "uniform":
+		count := *n
+		if count == 0 {
+			count = 100000
+		}
+		d = dataset.GenerateUniform("UNIFORM", count, *dim, rng)
+	default:
+		spec, err := specByName(*specName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(2)
+		}
+		if *scale != 1.0 {
+			spec = spec.Scaled(*scale)
+		}
+		d = spec.Generate(rng)
+	}
+	if err := dataset.Save(*out, d); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d points, %d dimensions\n", *out, d.N(), d.Dim())
+}
+
+func specByName(name string) (dataset.Spec, error) {
+	switch strings.ToLower(name) {
+	case "color64":
+		return dataset.Color64, nil
+	case "texture48":
+		return dataset.Texture48, nil
+	case "texture60":
+		return dataset.Texture60, nil
+	case "isolet617":
+		return dataset.Isolet617, nil
+	case "stock360":
+		return dataset.Stock360, nil
+	}
+	return dataset.Spec{}, fmt.Errorf("unknown spec %q", name)
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"color64", "TEXTURE48", "texture60", "Isolet617", "stock360"} {
+		spec, err := specByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if spec.N == 0 || spec.Dim == 0 {
+			t.Errorf("%s: empty spec", name)
+		}
+	}
+	if _, err := specByName("nope"); err == nil {
+		t.Error("expected error for unknown spec")
+	}
+}

@@ -1,0 +1,85 @@
+// Command idxpredict estimates the leaf-page accesses of a k-NN
+// workload on a VAMSplit R*-tree over a dataset, using the
+// sampling-based predictors of Lang & Singh (SIGMOD 2001), and
+// optionally verifies the estimate against a measurement on the fully
+// built index.
+//
+// Usage:
+//
+//	idxpredict -data texture60.hdx -method resampled -k 21 -q 500 -m 10000
+//	idxpredict -data texture60.hdx -method cutoff -measure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hdidx"
+	"hdidx/internal/dataset"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file written by datagen (required)")
+		method    = flag.String("method", "resampled", "prediction method: basic, cutoff, or resampled")
+		k         = flag.Int("k", 21, "k of the k-NN workload")
+		q         = flag.Int("q", 500, "number of density-biased sample queries")
+		m         = flag.Int("m", 10000, "memory size in points")
+		pageBytes = flag.Int("page", 8192, "index page size in bytes")
+		radius    = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		measure   = flag.Bool("measure", false, "also build the full index in memory and measure the workload")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "idxpredict: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	d, err := dataset.Load(*dataPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idxpredict:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %d points, %d dimensions\n", d.N(), d.Dim())
+
+	p, err := hdidx.NewPredictor(d.Points, hdidx.WithPageBytes(*pageBytes))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idxpredict:", err)
+		os.Exit(1)
+	}
+	opts := hdidx.EstimateOptions{K: *k, Queries: *q, Memory: *m, Seed: *seed}
+	var est hdidx.Estimate
+	if *radius > 0 {
+		est, err = p.EstimateRange(hdidx.Method(*method), *radius, opts)
+	} else {
+		est, err = p.EstimateKNN(hdidx.Method(*method), opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idxpredict:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("method:               %s\n", est.Method)
+	fmt.Printf("predicted accesses:   %.1f leaf pages/query\n", est.MeanAccesses)
+	if est.HUpper > 0 {
+		fmt.Printf("h_upper:              %d (sigma_upper=%.4f sigma_lower=%.4f)\n",
+			est.HUpper, est.SigmaUpper, est.SigmaLower)
+	}
+	fmt.Printf("prediction I/O cost:  %.3f s (simulated disk)\n", est.PredictionIOSeconds)
+
+	if *measure {
+		var measured float64
+		if *radius > 0 {
+			measured, err = p.MeasureRangeAccesses(*radius, opts)
+		} else {
+			measured, err = p.MeasureKNNAccesses(opts)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idxpredict:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("measured accesses:    %.1f leaf pages/query\n", measured)
+		fmt.Printf("relative error:       %+.1f%%\n", (est.MeanAccesses-measured)/measured*100)
+	}
+}

@@ -1,0 +1,39 @@
+// Model comparison (the Section 5.3 message): the basic, cutoff, and
+// resampled sampling predictors against the measured workload cost,
+// with the simulated I/O each prediction needed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hdidx"
+	"hdidx/internal/dataset"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+	points := dataset.Color64.Scaled(0.1).Generate(rng).Points
+	fmt.Printf("dataset: %d points, %d dims\n", len(points), len(points[0]))
+
+	p, err := hdidx.NewPredictor(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := hdidx.EstimateOptions{K: 21, Queries: 100, Memory: 1500, Seed: 9}
+	measured, err := p.MeasureKNNAccesses(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured: %.1f leaf accesses/query\n\n", measured)
+	fmt.Printf("%-10s %12s %10s %14s\n", "method", "predicted", "rel.err", "pred. I/O (s)")
+	for _, m := range []hdidx.Method{hdidx.MethodBasic, hdidx.MethodCutoff, hdidx.MethodResampled} {
+		est, err := p.EstimateKNN(m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.1f %+9.1f%% %14.3f\n",
+			m, est.MeanAccesses, (est.MeanAccesses-measured)/measured*100, est.PredictionIOSeconds)
+	}
+}

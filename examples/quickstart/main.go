@@ -1,0 +1,65 @@
+// Quickstart: build an index over high-dimensional clustered data,
+// run a k-NN query, then predict the workload's page accesses from a
+// sample and compare against the measurement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hdidx"
+	"hdidx/internal/dataset"
+)
+
+func main() {
+	// 20,000 clustered 32-dimensional points, the kind of
+	// KLT-transformed feature vectors the paper indexes.
+	rng := rand.New(rand.NewSource(7))
+	spec := dataset.Spec{
+		Name: "demo", N: 20000, Dim: 32,
+		Clusters: 16, VarianceDecay: 0.9, ClusterStd: 0.1,
+	}
+	points := spec.Generate(rng).Points
+
+	// Build the VAMSplit R*-tree and query it.
+	ix, err := hdidx.Build(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d points, %d dims, height %d, %d leaf pages\n",
+		ix.Len(), ix.Dim(), ix.Height(), ix.NumLeaves())
+
+	q := points[123]
+	neighbors, st, err := ix.KNN(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5-NN of point 123: radius %.4f, %d leaf + %d directory pages read\n",
+		st.Radius, st.LeafAccesses, st.DirAccesses)
+	self := true
+	for j := range q {
+		if neighbors[0][j] != q[j] {
+			self = false
+		}
+	}
+	fmt.Printf("nearest neighbor equals query: %v\n", self)
+
+	// Predict the cost of a 21-NN workload without the full index.
+	p, err := hdidx.NewPredictor(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := hdidx.EstimateOptions{K: 21, Queries: 100, Memory: 2000, Seed: 1}
+	est, err := p.EstimateKNN(hdidx.MethodResampled, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := p.MeasureKNNAccesses(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted %.1f leaf accesses/query (measured %.1f, error %+.1f%%)\n",
+		est.MeanAccesses, measured, (est.MeanAccesses-measured)/measured*100)
+	fmt.Printf("prediction needed %.2f s of simulated I/O\n", est.PredictionIOSeconds)
+}

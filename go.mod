@@ -1,0 +1,3 @@
+module hdidx
+
+go 1.22

@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdidx/internal/dataset"
+	"hdidx/internal/rtree"
+)
+
+func TestExpectedNNRadius2D(t *testing.T) {
+	// In 2-d, n*pi*r^2 = k -> r = sqrt(k/(n*pi)).
+	got := ExpectedNNRadius(10000, 2, 10)
+	want := math.Sqrt(10.0 / (10000 * math.Pi))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("radius = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedNNRadiusGrowsWithDim(t *testing.T) {
+	prev := 0.0
+	for _, d := range []int{2, 8, 16, 32, 60} {
+		r := ExpectedNNRadius(100000, d, 21)
+		if r <= prev {
+			t.Errorf("radius at dim %d = %v, did not grow (prev %v)", d, r, prev)
+		}
+		prev = r
+	}
+	// In 60 dimensions the expected radius exceeds 1: the curse of
+	// dimensionality that makes the uniform model predict all pages.
+	if prev < 1 {
+		t.Errorf("60-d radius = %v, want > 1", prev)
+	}
+}
+
+func TestUniformModelAllPagesInHighDim(t *testing.T) {
+	// Paper Table 4: the uniform model predicts that every one of the
+	// 8,641 TEXTURE60 pages is accessed.
+	g := rtree.NewGeometry(60)
+	res, err := UniformModel(275465, 60, 21, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessProb < 0.999 {
+		t.Errorf("access probability = %v, want ~1", res.AccessProb)
+	}
+	if math.Abs(res.Accesses-float64(res.Pages)) > 1 {
+		t.Errorf("accesses = %v, want all %d pages", res.Accesses, res.Pages)
+	}
+}
+
+func TestUniformModelReasonableInLowDim(t *testing.T) {
+	// In 2 dimensions with many points the model must predict far
+	// fewer than all pages.
+	g := rtree.NewGeometry(2)
+	res, err := UniformModel(1000000, 2, 10, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses > float64(res.Pages)/10 {
+		t.Errorf("2-d accesses = %v of %d pages, want a small fraction", res.Accesses, res.Pages)
+	}
+	if res.Accesses < 1 {
+		t.Errorf("accesses = %v, want >= 1", res.Accesses)
+	}
+}
+
+func TestUniformModelInvalidInputs(t *testing.T) {
+	g := rtree.NewGeometry(8)
+	for _, tt := range []struct{ n, dim, k int }{{0, 8, 1}, {10, 0, 1}, {10, 8, 0}} {
+		if _, err := UniformModel(tt.n, tt.dim, tt.k, g); err == nil {
+			t.Errorf("n=%d dim=%d k=%d: expected error", tt.n, tt.dim, tt.k)
+		}
+	}
+}
+
+func TestEstimateFractalDimsUniform2D(t *testing.T) {
+	// A filled 2-d square has D0 ~ D2 ~ 2.
+	rng := rand.New(rand.NewSource(1))
+	pts := dataset.GenerateUniform("u", 50000, 2, rng).Points
+	dims, err := EstimateFractalDims(pts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dims.D0-2) > 0.35 {
+		t.Errorf("D0 = %v, want ~2", dims.D0)
+	}
+	if math.Abs(dims.D2-2) > 0.35 {
+		t.Errorf("D2 = %v, want ~2", dims.D2)
+	}
+}
+
+func TestEstimateFractalDimsLine(t *testing.T) {
+	// Points on a 1-d diagonal embedded in 3-d have D ~ 1.
+	pts := make([][]float64, 20000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range pts {
+		v := rng.Float64()
+		pts[i] = []float64{v, v, v}
+	}
+	dims, err := EstimateFractalDims(pts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dims.D0-1) > 0.3 {
+		t.Errorf("D0 = %v, want ~1", dims.D0)
+	}
+	if math.Abs(dims.D2-1) > 0.3 {
+		t.Errorf("D2 = %v, want ~1", dims.D2)
+	}
+}
+
+func TestEstimateFractalDimsClusteredBelowEmbedding(t *testing.T) {
+	// KLT-like clustered data has intrinsic dimensionality far below
+	// the embedding dimensionality — the reason the fractal model
+	// mispredicts in high dimensions.
+	rng := rand.New(rand.NewSource(3))
+	data := dataset.Texture60.Scaled(0.05).Generate(rng).Points
+	dims, err := EstimateFractalDims(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims.D0 > 30 {
+		t.Errorf("D0 = %v, want far below 60", dims.D0)
+	}
+	if dims.D2 <= 0 {
+		t.Errorf("D2 = %v, want > 0", dims.D2)
+	}
+}
+
+func TestEstimateFractalDimsTooFewPoints(t *testing.T) {
+	if _, err := EstimateFractalDims([][]float64{{1}}, 4); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFractalModelBounds(t *testing.T) {
+	g := rtree.NewGeometry(60)
+	res, err := FractalModel(275465, 21, g, FractalDims{D0: 5, D2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses < 1 || res.Accesses > float64(res.Pages) {
+		t.Errorf("accesses = %v outside [1, %d]", res.Accesses, res.Pages)
+	}
+	if _, err := FractalModel(0, 21, g, FractalDims{D0: 5, D2: 4}); err == nil {
+		t.Error("expected error for n=0")
+	}
+}
+
+func TestFractalBelowUniformOnClusteredData(t *testing.T) {
+	// Table 4's ordering: uniform >= fractal (both overestimates on
+	// the clustered high-dimensional dataset).
+	rng := rand.New(rand.NewSource(4))
+	data := dataset.Texture60.Scaled(0.05).Generate(rng).Points
+	g := rtree.NewGeometry(60)
+	dims, err := EstimateFractalDims(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := FractalModel(len(data), 21, g, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := UniformModel(len(data), 60, 21, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Accesses > un.Accesses {
+		t.Errorf("fractal %v above uniform %v", fr.Accesses, un.Accesses)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	if got := slope(x, y); math.Abs(got-2) > 1e-12 {
+		t.Errorf("slope = %v, want 2", got)
+	}
+	if got := slope([]float64{1, 1}, []float64{2, 3}); got != 0 {
+		t.Errorf("degenerate slope = %v, want 0", got)
+	}
+}
+
+func BenchmarkEstimateFractalDims(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	data := dataset.Texture60.Scaled(0.02).Generate(rng).Points
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateFractalDims(data, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+
+	"hdidx/internal/rtree"
+)
+
+// Fractal-dimensionality cost model in the style of Korn, Pagel &
+// Faloutsos, "Deflating the dimensionality curse using multiple
+// fractal dimensions" (ICDE 2000), as the paper's second baseline.
+//
+// Two fractal dimensions are estimated by box counting on a grid of
+// geometrically shrinking cell sizes over the min-max normalized data:
+//
+//	D0 (Hausdorff / box-counting): slope of log(occupied cells)
+//	    versus log(1/eps).
+//	D2 (correlation): slope of log(sum of squared cell frequencies)
+//	    versus log(eps).
+//
+// The cost model then replaces the embedding dimensionality with the
+// fractal one: pages are assumed square with side s = (C_eff/n)^(1/D0)
+// in the normalized space, the expected k-NN radius follows from the
+// correlation integral (the expected number of neighbors within r
+// grows like (n-1) * r^D2), and a Minkowski enlargement of the page by
+// the query sphere gives the access probability
+//
+//	P = min(1, s + 2r)^D0 / s^D0,
+//
+// clipped to the total page count.
+
+// FractalDims holds box-counting estimates of a dataset's fractal
+// dimensionalities.
+type FractalDims struct {
+	D0 float64 // Hausdorff (box-counting) dimension
+	D2 float64 // correlation dimension
+}
+
+// EstimateFractalDims measures D0 and D2 of pts by box counting over
+// grid resolutions 2^1 .. 2^levels per normalized dimension. A levels
+// value of 0 selects a resolution ladder adapted to the dataset size
+// (cells stay coarser than one expected point per cell).
+func EstimateFractalDims(pts [][]float64, levels int) (FractalDims, error) {
+	if len(pts) < 2 {
+		return FractalDims{}, fmt.Errorf("baseline: need at least 2 points, got %d", len(pts))
+	}
+	if levels <= 0 {
+		// Stop refining once cells would hold ~1 point on average in a
+		// D-dimensional support of modest intrinsic dimensionality.
+		levels = int(math.Log2(float64(len(pts)))/2) + 1
+		if levels < 3 {
+			levels = 3
+		}
+		if levels > 12 {
+			levels = 12
+		}
+	}
+	dim := len(pts[0])
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	copy(lo, pts[0])
+	copy(hi, pts[0])
+	for _, p := range pts[1:] {
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	scale := make([]float64, dim)
+	for j := range scale {
+		if hi[j] > lo[j] {
+			scale[j] = 1 / (hi[j] - lo[j])
+		}
+	}
+
+	var seed maphash.Seed = maphash.MakeSeed()
+	logEps := make([]float64, 0, levels)
+	logN0 := make([]float64, 0, levels)
+	logS2 := make([]float64, 0, levels)
+	cellID := make([]byte, 4*dim)
+	for l := 1; l <= levels; l++ {
+		grid := float64(uint64(1) << uint(l))
+		counts := make(map[uint64]int, len(pts))
+		for _, p := range pts {
+			for j, v := range p {
+				c := uint32((v - lo[j]) * scale[j] * grid)
+				if c >= uint32(grid) {
+					c = uint32(grid) - 1
+				}
+				cellID[4*j] = byte(c)
+				cellID[4*j+1] = byte(c >> 8)
+				cellID[4*j+2] = byte(c >> 16)
+				cellID[4*j+3] = byte(c >> 24)
+			}
+			var h maphash.Hash
+			h.SetSeed(seed)
+			h.Write(cellID)
+			counts[h.Sum64()]++
+		}
+		var s2 float64
+		for _, c := range counts {
+			f := float64(c) / float64(len(pts))
+			s2 += f * f
+		}
+		logEps = append(logEps, -float64(l)*math.Ln2) // log(1/grid)
+		logN0 = append(logN0, math.Log(float64(len(counts))))
+		logS2 = append(logS2, math.Log(s2))
+	}
+	d0 := -slope(logEps, logN0) // N(eps) ~ eps^-D0
+	d2 := slope(logEps, logS2)  // S2(eps) ~ eps^D2
+	if d0 < 1e-6 {
+		d0 = 1e-6
+	}
+	if d2 < 1e-6 {
+		d2 = 1e-6
+	}
+	return FractalDims{D0: d0, D2: d2}, nil
+}
+
+// slope returns the least-squares slope of y over x.
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// FractalResult reports the fractal model's prediction.
+type FractalResult struct {
+	Dims     FractalDims
+	Pages    int
+	PageSide float64
+	Radius   float64
+	// MinkowskiPages is the raw page count implied by the Minkowski
+	// enlargement, before clipping to the total page count.
+	MinkowskiPages float64
+	Accesses       float64
+}
+
+// FractalModel predicts the leaf page accesses of a k-NN query using
+// the measured fractal dimensions instead of the embedding
+// dimensionality.
+func FractalModel(n, k int, g rtree.Geometry, dims FractalDims) (FractalResult, error) {
+	if n <= 0 || k <= 0 {
+		return FractalResult{}, fmt.Errorf("baseline: invalid n=%d k=%d", n, k)
+	}
+	topo := rtree.NewTopology(n, g)
+	pages := topo.Leaves()
+	ceff := float64(topo.EffDataCapacity())
+	// Square pages covering the fractal support: each holds C_eff of n
+	// points, so its side in the normalized space obeys
+	// (s)^D0 = C_eff/n.
+	s := math.Exp(math.Log(ceff/float64(n)) / dims.D0)
+	// Expected k-NN radius from the correlation integral:
+	// (n-1) * r^D2 = k.
+	r := math.Exp(math.Log(float64(k)/float64(n-1)) / dims.D2)
+	if r > 1 {
+		r = 1
+	}
+	mink := math.Pow(math.Min(1, s+2*r), dims.D0) / math.Pow(s, dims.D0)
+	accesses := mink
+	if accesses > float64(pages) {
+		accesses = float64(pages)
+	}
+	return FractalResult{
+		Dims:           dims,
+		Pages:          pages,
+		PageSide:       s,
+		Radius:         r,
+		MinkowskiPages: mink,
+		Accesses:       accesses,
+	}, nil
+}

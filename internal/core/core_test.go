@@ -1,0 +1,467 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdidx/internal/dataset"
+	"hdidx/internal/disk"
+	"hdidx/internal/mbr"
+	"hdidx/internal/query"
+	"hdidx/internal/rtree"
+)
+
+// testEnv bundles a dataset on disk with a query workload and the
+// measured ground truth.
+type testEnv struct {
+	data     [][]float64
+	d        *disk.Disk
+	pf       *disk.PointFile
+	g        rtree.Geometry
+	spheres  []query.Sphere
+	measured []float64
+	indices  []int
+	k        int
+}
+
+func newEnv(t testing.TB, spec dataset.Spec, q, k int, seed int64) *testEnv {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := spec.Generate(rng).Points
+	g := rtree.NewGeometry(len(data[0]))
+	d := disk.New(disk.DefaultParams())
+	pf := disk.NewPointFile(d, len(data[0]), len(data))
+	pf.AppendAll(data)
+	d.ResetCounters()
+
+	indices := make([]int, q)
+	queryPoints := make([][]float64, q)
+	for i := range indices {
+		indices[i] = rng.Intn(len(data))
+		queryPoints[i] = data[indices[i]]
+	}
+	spheres := query.ComputeSpheres(data, queryPoints, k)
+	tree := rtree.Build(append([][]float64(nil), data...), rtree.ParamsForGeometry(g))
+	measured := query.MeasureLeafAccesses(tree, spheres)
+	return &testEnv{
+		data: data, d: d, pf: pf, g: g,
+		spheres: spheres, measured: measured, indices: indices, k: k,
+	}
+}
+
+func (e *testEnv) config(m, hUpper int, seed int64) Config {
+	return Config{
+		Geometry:     e.g,
+		M:            m,
+		K:            e.k,
+		QueryIndices: e.indices,
+		HUpper:       hUpper,
+		Rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func relErr(predicted, measured float64) float64 {
+	return (predicted - measured) / measured
+}
+
+func TestPredictBasicUniformAccurate(t *testing.T) {
+	// Uniform data satisfies the model's within-page uniformity
+	// assumption exactly, so the compensated prediction must land
+	// close to the measurement (paper Section 5.2 reports -0.5%..-3%).
+	spec := dataset.Spec{Name: "unif", N: 20000, Dim: 8}
+	env := newEnv(t, spec, 60, 21, 1)
+	rng := rand.New(rand.NewSource(2))
+	p, err := PredictBasic(env.data, 0.2, true, env.g, env.spheres, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := relErr(p.Mean, meanOf(env.measured))
+	if math.Abs(re) > 0.15 {
+		t.Errorf("relative error %.3f, want |err| <= 0.15 (mean pred %.1f vs meas %.1f)",
+			re, p.Mean, meanOf(env.measured))
+	}
+}
+
+func TestPredictBasicCompensationHelps(t *testing.T) {
+	// At small sample fractions the uncompensated mini-index
+	// underestimates; compensation must reduce the error (Figure 2).
+	spec := dataset.Spec{Name: "unif", N: 20000, Dim: 8}
+	env := newEnv(t, spec, 60, 21, 3)
+	meas := meanOf(env.measured)
+	zeta := 0.1
+	raw, err := PredictBasic(env.data, zeta, false, env.g, env.spheres, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := PredictBasic(env.data, zeta, true, env.g, env.spheres, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Mean <= raw.Mean {
+		t.Errorf("compensated mean %.1f should exceed raw mean %.1f", comp.Mean, raw.Mean)
+	}
+	if math.Abs(relErr(comp.Mean, meas)) > math.Abs(relErr(raw.Mean, meas)) {
+		t.Errorf("compensation increased error: raw %.3f comp %.3f",
+			relErr(raw.Mean, meas), relErr(comp.Mean, meas))
+	}
+}
+
+func TestPredictBasicFullSampleIsExact(t *testing.T) {
+	// zeta = 1 rebuilds the full index: the prediction must equal the
+	// measurement query by query.
+	spec := dataset.Spec{Name: "unif", N: 5000, Dim: 8}
+	env := newEnv(t, spec, 30, 5, 5)
+	p, err := PredictBasic(env.data, 1.0, true, env.g, env.spheres, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.PerQuery {
+		if p.PerQuery[i] != env.measured[i] {
+			t.Fatalf("query %d: predicted %v, measured %v", i, p.PerQuery[i], env.measured[i])
+		}
+	}
+}
+
+func TestPredictBasicErrorShrinksWithSampleSize(t *testing.T) {
+	spec := dataset.Spec{Name: "clustered", N: 20000, Dim: 16, Clusters: 8, VarianceDecay: 0.9, ClusterStd: 0.1}
+	env := newEnv(t, spec, 50, 21, 7)
+	meas := meanOf(env.measured)
+	errSmall, errLarge := 0.0, 0.0
+	// Average over a few seeds to dampen sampling noise.
+	for seed := int64(0); seed < 3; seed++ {
+		small, err := PredictBasic(env.data, 0.05, true, env.g, env.spheres, rand.New(rand.NewSource(10+seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := PredictBasic(env.data, 0.5, true, env.g, env.spheres, rand.New(rand.NewSource(10+seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSmall += math.Abs(relErr(small.Mean, meas))
+		errLarge += math.Abs(relErr(large.Mean, meas))
+	}
+	if errLarge >= errSmall {
+		t.Errorf("error did not shrink with sample size: small %.3f, large %.3f", errSmall/3, errLarge/3)
+	}
+}
+
+func TestPredictBasicRejectsBadFraction(t *testing.T) {
+	env := newEnv(t, dataset.Spec{Name: "u", N: 1000, Dim: 8}, 5, 3, 8)
+	for _, zeta := range []float64{0, -0.5, 1.5, 0.001} {
+		if _, err := PredictBasic(env.data, zeta, true, env.g, env.spheres, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("zeta=%v: expected error", zeta)
+		}
+	}
+}
+
+func TestPredictCutoffRunsAndCharges(t *testing.T) {
+	env := newEnv(t, dataset.Texture60.Scaled(0.05), 50, 21, 9)
+	cfg := env.config(2000, 0, 10)
+	p, err := PredictCutoff(env.pf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method != "cutoff" {
+		t.Errorf("method = %q", p.Method)
+	}
+	// I/O must equal q random reads plus one scan (chunked).
+	b := disk.PointsPerPage(disk.DefaultParams(), 60)
+	scanTransfers := int64((env.pf.Len() + b - 1) / b)
+	if p.IO.Transfers < scanTransfers {
+		t.Errorf("transfers %d below one scan %d", p.IO.Transfers, scanTransfers)
+	}
+	if p.IO.Transfers > scanTransfers+int64(2*len(env.indices)) {
+		t.Errorf("transfers %d far above scan+queries", p.IO.Transfers)
+	}
+	if p.Mean <= 0 {
+		t.Error("mean prediction is zero")
+	}
+	// The derived leaf count must approximate the topology's.
+	topo := rtree.NewTopology(env.pf.Len(), env.g)
+	if len(p.LeafRects) < topo.Leaves() || len(p.LeafRects) > 2*topo.Leaves() {
+		t.Errorf("predicted %d leaves, topology has %d", len(p.LeafRects), topo.Leaves())
+	}
+}
+
+func TestPredictResampledAccuracy(t *testing.T) {
+	env := newEnv(t, dataset.Texture60.Scaled(0.05), 50, 21, 11)
+	cfg := env.config(2000, 0, 12)
+	p, err := PredictResampled(env.pf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := meanOf(env.measured)
+	re := relErr(p.Mean, meas)
+	if math.Abs(re) > 0.35 {
+		t.Errorf("resampled relative error %.3f (pred %.1f vs meas %.1f)", re, p.Mean, meas)
+	}
+	if p.SigmaLower <= p.SigmaUpper {
+		t.Errorf("sigma_lower %v should exceed sigma_upper %v", p.SigmaLower, p.SigmaUpper)
+	}
+}
+
+func TestResampledCostsMoreThanCutoffButWorksBetter(t *testing.T) {
+	env := newEnv(t, dataset.Texture60.Scaled(0.05), 60, 21, 13)
+	cut, err := PredictCutoff(env.pf, env.config(2000, 0, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PredictResampled(env.pf, env.config(2000, 0, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.Transfers <= cut.IO.Transfers {
+		t.Errorf("resampled transfers %d should exceed cutoff %d", res.IO.Transfers, cut.IO.Transfers)
+	}
+	meas := meanOf(env.measured)
+	if math.Abs(relErr(res.Mean, meas)) > math.Abs(relErr(cut.Mean, meas))+0.05 {
+		t.Errorf("resampled error %.3f worse than cutoff %.3f",
+			relErr(res.Mean, meas), relErr(cut.Mean, meas))
+	}
+}
+
+func TestResampledFarCheaperThanOnDiskBuild(t *testing.T) {
+	env := newEnv(t, dataset.Texture60.Scaled(0.05), 30, 21, 15)
+	res, err := PredictResampled(env.pf, env.config(2000, 0, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the on-disk index on a fresh copy and compare I/O cost.
+	d2 := disk.New(disk.DefaultParams())
+	pf2 := disk.NewPointFile(d2, 60, len(env.data))
+	pf2.AppendAll(env.data)
+	d2.ResetCounters()
+	rtree.BuildOnDisk(pf2, rtree.ParamsForGeometry(env.g), 2000)
+	buildCost := d2.Counters().CostSeconds(disk.DefaultParams())
+	if res.IOSeconds*5 > buildCost {
+		t.Errorf("resampled cost %.2fs not well below on-disk build %.2fs", res.IOSeconds, buildCost)
+	}
+}
+
+func TestHUpperSweepReproducesTable3Shape(t *testing.T) {
+	// Table 3: small h_upper underestimates, the auto-chosen h_upper
+	// is most accurate.
+	env := newEnv(t, dataset.Texture60.Scaled(0.05), 50, 21, 17)
+	meas := meanOf(env.measured)
+	topo := rtree.NewTopology(env.pf.Len(), env.g)
+	min, max, err := topo.HUpperBounds(2000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max-min < 1 {
+		t.Skipf("only one admissible h_upper (%d..%d)", min, max)
+	}
+	auto, err := topo.ChooseHUpper(2000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := map[int]float64{}
+	for h := min; h <= max; h++ {
+		p, err := PredictResampled(env.pf, env.config(2000, h, 18))
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		errs[h] = relErr(p.Mean, meas)
+		t.Logf("h_upper=%d: sigma_lower=%.3f rel err %.3f", h, p.SigmaLower, errs[h])
+	}
+	if math.Abs(errs[auto]) > 0.35 {
+		t.Errorf("auto h_upper=%d error %.3f too large", auto, errs[auto])
+	}
+}
+
+func TestPredictResampledAcrossK(t *testing.T) {
+	// The paper evaluates 21-NN only; the predictor should hold across
+	// k since only the query radii change. k = 1 is excluded: with
+	// density-biased queries drawn from the dataset the 1-NN radius is
+	// zero (the query point is its own nearest neighbor), so the
+	// "sphere" degenerates to a point that a sampled mini-index has no
+	// way to cover — the same degeneracy that makes the paper use 21.
+	rng := rand.New(rand.NewSource(27))
+	data := dataset.Texture60.Scaled(0.05).Generate(rng).Points
+	g := rtree.NewGeometry(60)
+	d := disk.New(disk.DefaultParams())
+	pf := disk.NewPointFile(d, 60, len(data))
+	pf.AppendAll(data)
+	d.ResetCounters()
+	indices := make([]int, 40)
+	queryPoints := make([][]float64, 40)
+	for i := range indices {
+		indices[i] = rng.Intn(len(data))
+		queryPoints[i] = data[indices[i]]
+	}
+	cp := make([][]float64, len(data))
+	copy(cp, data)
+	tree := rtree.Build(cp, rtree.ParamsForGeometry(g))
+	for _, k := range []int{2, 5, 21, 50} {
+		spheres := query.ComputeSpheres(data, queryPoints, k)
+		measured := meanOf(query.MeasureLeafAccesses(tree, spheres))
+		cfg := Config{
+			Geometry: g, M: 2000, K: k,
+			QueryIndices: indices,
+			Rng:          rand.New(rand.NewSource(28 + int64(k))),
+		}
+		p, err := PredictResampled(pf, cfg)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		re := relErr(p.Mean, measured)
+		t.Logf("k=%d: measured %.1f predicted %.1f (%+.1f%%)", k, measured, p.Mean, re*100)
+		if math.Abs(re) > 0.35 {
+			t.Errorf("k=%d: relative error %+.1f%%", k, re*100)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	env := newEnv(t, dataset.Spec{Name: "u", N: 3000, Dim: 8}, 5, 3, 19)
+	bad := []Config{
+		{Geometry: env.g, M: 0, K: 3, QueryIndices: env.indices, Rng: rand.New(rand.NewSource(1))},
+		{Geometry: env.g, M: 100, K: 0, QueryIndices: env.indices, Rng: rand.New(rand.NewSource(1))},
+		{Geometry: env.g, M: 100, K: 3, QueryIndices: nil, Rng: rand.New(rand.NewSource(1))},
+		{Geometry: env.g, M: 100, K: 3, QueryIndices: []int{999999}, Rng: rand.New(rand.NewSource(1))},
+		{Geometry: env.g, M: 100, K: 3, QueryIndices: env.indices, Rng: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := PredictCutoff(env.pf, cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestHUpperOutOfRangeRejected(t *testing.T) {
+	env := newEnv(t, dataset.Texture60.Scaled(0.02), 5, 3, 20)
+	cfg := env.config(1000, 99, 21)
+	if _, err := PredictCutoff(env.pf, cfg); err == nil {
+		t.Error("expected error for h_upper=99")
+	}
+}
+
+func TestSafeCompensation(t *testing.T) {
+	if got := safeCompensation(32, 1); got != 1 {
+		t.Errorf("zeta=1 factor = %v, want 1", got)
+	}
+	if got := safeCompensation(32, 0.01); got != 1 {
+		t.Errorf("below 1/C factor = %v, want 1 (disabled)", got)
+	}
+	if got := safeCompensation(32, 0.5); got <= 1 {
+		t.Errorf("valid domain factor = %v, want > 1", got)
+	}
+	if got := safeCompensation(0.5, 0.5); got != 1 {
+		t.Errorf("capacity <= 1 factor = %v, want 1", got)
+	}
+}
+
+func TestSplitBoxToLeavesCountsAndCoverage(t *testing.T) {
+	topo := rtree.NewTopology(100000, rtree.NewGeometry(8))
+	box := mbr.FromCorners([]float64{0, 0, 0, 0, 0, 0, 0, 0}, []float64{1, 2, 1, 1, 1, 1, 1, 1})
+	leaves := splitBoxToLeaves(box, topo, 2)
+	f := fanoutAt(topo, 2)
+	if len(leaves) != f {
+		t.Fatalf("split produced %d boxes, fanout is %d", len(leaves), f)
+	}
+	var vol float64
+	for _, l := range leaves {
+		vol += l.Volume()
+		if !box.ContainsRect(l) {
+			t.Error("split box escapes parent")
+		}
+	}
+	if math.Abs(vol-box.Volume()) > 1e-9*box.Volume() {
+		t.Errorf("split volumes sum to %v, parent is %v", vol, box.Volume())
+	}
+}
+
+func TestClassifyPoints(t *testing.T) {
+	boxes := []mbr.Rect{
+		mbr.FromCorners([]float64{0, 0}, []float64{1, 1}),
+		mbr.FromCorners([]float64{5, 5}, []float64{6, 6}),
+	}
+	pts := [][]float64{
+		{0.5, 0.5}, // inside box 0
+		{5.5, 5.5}, // inside box 1
+		{2, 2},     // outside: closer to box 0
+		{4.4, 4.4}, // outside: closer to box 1
+	}
+	out := make([]int, len(pts))
+	classifyPoints(pts, boxes, out, false)
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("point %d assigned to %d, want %d", i, out[i], want[i])
+		}
+	}
+	classifyPoints(pts, boxes, out, true)
+	wantDiscard := []int{0, 1, -1, -1}
+	for i := range wantDiscard {
+		if out[i] != wantDiscard[i] {
+			t.Errorf("discard mode: point %d assigned to %d, want %d", i, out[i], wantDiscard[i])
+		}
+	}
+}
+
+func TestAdaptiveCompensationNotWorse(t *testing.T) {
+	// At sigma_lower < 1 (forced small h_upper) the adaptive extension
+	// must not degrade accuracy versus the paper's nominal rate.
+	env := newEnv(t, dataset.Texture60.Scaled(0.05), 50, 21, 23)
+	meas := meanOf(env.measured)
+	topo := rtree.NewTopology(env.pf.Len(), env.g)
+	min, _, err := topo.HUpperBounds(2000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, err := PredictResampled(env.pf, env.config(2000, min, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := env.config(2000, min, 24)
+	cfgA.AdaptiveCompensation = true
+	adaptive, err := PredictResampled(env.pf, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("nominal err %+.3f, adaptive err %+.3f",
+		relErr(nominal.Mean, meas), relErr(adaptive.Mean, meas))
+	if math.Abs(relErr(adaptive.Mean, meas)) > math.Abs(relErr(nominal.Mean, meas))+0.05 {
+		t.Error("adaptive compensation degraded accuracy")
+	}
+}
+
+func TestDiscardOutsideUnderestimates(t *testing.T) {
+	// Discarding points outside every upper leaf box (instead of
+	// nearest-box assignment) loses boundary mass and must predict
+	// fewer accesses.
+	env := newEnv(t, dataset.Texture60.Scaled(0.05), 50, 21, 25)
+	normal, err := PredictResampled(env.pf, env.config(2000, 0, 26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgD := env.config(2000, 0, 26)
+	cfgD.DiscardOutside = true
+	discard, err := PredictResampled(env.pf, cfgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discard.Mean > normal.Mean {
+		t.Errorf("discard mean %.1f above nearest-assignment mean %.1f", discard.Mean, normal.Mean)
+	}
+}
+
+func BenchmarkPredictResampledTexture60Tiny(b *testing.B) {
+	env := newEnv(b, dataset.Texture60.Scaled(0.02), 20, 21, 22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PredictResampled(env.pf, env.config(1000, 0, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

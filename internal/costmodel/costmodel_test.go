@@ -1,0 +1,192 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"hdidx/internal/disk"
+)
+
+func env60(n, m int) Env {
+	return Env{Disk: disk.DefaultParams(), N: n, Dim: 60, M: m}
+}
+
+func TestReadQueryPoints(t *testing.T) {
+	// Equation 2: q * (t_seek + t_xfer) = 500 * 10.4 ms.
+	got := ReadQueryPoints(500, disk.DefaultParams())
+	if math.Abs(got-5.2) > 1e-9 {
+		t.Errorf("ReadQueryPoints = %v, want 5.2", got)
+	}
+}
+
+func TestScanDataset(t *testing.T) {
+	e := env60(275465, 10000)
+	// B = 34 -> ceil(275465/34) = 8102 transfers.
+	want := 0.010 + 8102*0.0004
+	if got := e.ScanDataset(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ScanDataset = %v, want %v", got, want)
+	}
+}
+
+func TestCutoffMatchesPaperScale(t *testing.T) {
+	// Paper Table 3: cutoff on TEXTURE60 cost 8.492 s with 501 seeks
+	// and 8,705 transfers (500 queries + 1 scan). Our Equation 3
+	// evaluation must land in the same range.
+	e := env60(275465, 10000)
+	got := e.Cutoff(500)
+	// 501 seeks * 10ms + 8602ish transfers * 0.4ms ~ 8.5 s.
+	if got < 7 || got > 10 {
+		t.Errorf("Cutoff = %v s, want ~8.5 s", got)
+	}
+}
+
+func TestResampledComponentsPositive(t *testing.T) {
+	e := env60(275465, 10000)
+	det, err := e.Resampled(500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.SigmaLower != 1 {
+		t.Errorf("sigma_lower = %v, want 1 at h_upper=3 (paper Table 3)", det.SigmaLower)
+	}
+	if det.Resampling <= 0 || det.BuildSubtrees <= 0 {
+		t.Errorf("components = %+v", det)
+	}
+	if math.Abs(det.Total-(det.ReadQueries+det.ScanDataset+det.Resampling+det.BuildSubtrees)) > 1e-9 {
+		t.Error("total is not the sum of components")
+	}
+	// Paper Table 3 reports 23.9 s for this configuration.
+	if det.Total < 15 || det.Total > 40 {
+		t.Errorf("Resampled total = %v s, want ~24 s", det.Total)
+	}
+}
+
+func TestResampledSigmaLowerPoint109(t *testing.T) {
+	// Paper Table 3, h_upper=2: sigma_lower = 0.1089.
+	e := env60(275465, 10000)
+	det, err := e.Resampled(500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(det.SigmaLower-0.1089) > 0.002 {
+		t.Errorf("sigma_lower = %v, want 0.1089", det.SigmaLower)
+	}
+}
+
+func TestResampledAutoHUpper(t *testing.T) {
+	e := env60(275465, 10000)
+	det, err := e.Resampled(500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.HUpper != 3 {
+		t.Errorf("auto h_upper = %d, want 3", det.HUpper)
+	}
+}
+
+func TestResampledRejectsBadHUpper(t *testing.T) {
+	e := env60(275465, 10000)
+	if _, err := e.Resampled(500, 99); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestCostOrderingFigure9(t *testing.T) {
+	// Figure 9's headline: cutoff < resampled < on-disk, with the
+	// resampled roughly an order of magnitude below on-disk and the
+	// cutoff up to two orders.
+	e := Env{Disk: disk.DefaultParams(), N: 1000000, Dim: 60, M: 10000}
+	det, err := e.Resampled(500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := e.Cutoff(500)
+	onDisk := e.OnDiskBuild()
+	if !(cutoff < det.Total && det.Total < onDisk) {
+		t.Fatalf("ordering violated: cutoff %.1f, resampled %.1f, on-disk %.1f", cutoff, det.Total, onDisk)
+	}
+	if onDisk < 4*det.Total {
+		t.Errorf("on-disk %.1f should be well above resampled %.1f", onDisk, det.Total)
+	}
+	if onDisk < 20*cutoff {
+		t.Errorf("on-disk %.1f should be >= ~20x cutoff %.1f", onDisk, cutoff)
+	}
+}
+
+func TestSweepMemoryMonotonicity(t *testing.T) {
+	ms := []int{1000, 2000, 5000, 10000, 20000, 50000}
+	rows, err := SweepMemory(1000000, 60, 500, ms, disk.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ms) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].OnDisk > rows[i-1].OnDisk {
+			t.Errorf("on-disk cost rose with memory: M=%d %.1f -> M=%d %.1f",
+				rows[i-1].X, rows[i-1].OnDisk, rows[i].X, rows[i].OnDisk)
+		}
+	}
+	// Cutoff is dominated by the scan and independent of M.
+	for i := 1; i < len(rows); i++ {
+		if math.Abs(rows[i].Cutoff-rows[0].Cutoff) > 1e-9 {
+			t.Error("cutoff cost should be independent of memory size")
+		}
+	}
+}
+
+func TestSweepDimLinearGrowth(t *testing.T) {
+	dims := []int{20, 40, 60, 80, 100}
+	rows, err := SweepDim(1000000, 500, 600000, dims, disk.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M = 600000/60 = 10000 at 60 dimensions (paper's choice).
+	for _, r := range rows {
+		if r.X == 60 {
+			e := Env{Disk: disk.DefaultParams(), N: 1000000, Dim: 60, M: 10000}
+			if math.Abs(r.Cutoff-e.Cutoff(500)) > 1e-9 {
+				t.Error("dim sweep row does not match direct evaluation")
+			}
+		}
+	}
+	// Cost grows with dimensionality for every method.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cutoff <= rows[i-1].Cutoff || rows[i].OnDisk <= rows[i-1].OnDisk {
+			t.Errorf("costs not increasing with dim at %d", rows[i].X)
+		}
+	}
+}
+
+func TestSweepNGrowth(t *testing.T) {
+	ns := []int{100000, 300000, 1000000, 3000000}
+	rows, err := SweepN(60, 500, 10000, ns, disk.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].OnDisk <= rows[i-1].OnDisk || rows[i].Resampled <= rows[i-1].Resampled {
+			t.Errorf("costs not increasing with N at %d", rows[i].X)
+		}
+		// The speedup persists across dataset sizes.
+		if rows[i].OnDisk < 4*rows[i].Resampled {
+			t.Errorf("N=%d: on-disk %.1f not well above resampled %.1f",
+				rows[i].X, rows[i].OnDisk, rows[i].Resampled)
+		}
+	}
+}
+
+func TestOnDiskBuildScalesWithLevels(t *testing.T) {
+	// A single-leaf dataset needs only the final layout pass; taller
+	// trees pay partitioning passes on top.
+	small := Env{Disk: disk.DefaultParams(), N: 30, Dim: 60, M: 10000}
+	want := small.passCost(30)
+	if got := small.OnDiskBuild(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("OnDiskBuild(single leaf) = %v, want %v", got, want)
+	}
+	big := env60(275465, 10000)
+	if got := big.OnDiskBuild(); got < 100 || got > 900 {
+		t.Errorf("OnDiskBuild(TEXTURE60) = %.1f s, want same order as the paper's 818 s", got)
+	}
+}

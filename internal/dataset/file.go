@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary dataset file format used by cmd/datagen and cmd/idxpredict:
+// a 12-byte header (magic "HDX1", uint32 dimensionality, uint32 point
+// count, little endian) followed by n*dim float32 coordinates.
+
+const fileMagic = "HDX1"
+
+// Save writes the dataset to path in the binary format.
+func Save(path string, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(fileMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(d.Dim()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(d.N()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [4]byte
+	for _, p := range d.Points {
+		for _, v := range p {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading header of %s: %w", path, err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("dataset: %s is not a %s file", path, fileMagic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading header of %s: %w", path, err)
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[0:]))
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if dim <= 0 || n < 0 || dim > 1<<20 || n > 1<<31 {
+		return nil, fmt.Errorf("dataset: implausible header dim=%d n=%d in %s", dim, n, path)
+	}
+	pts := make([][]float64, n)
+	flat := make([]float64, n*dim)
+	raw := make([]byte, 4*dim)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("dataset: truncated point %d in %s: %w", i, path, err)
+		}
+		p := flat[i*dim : (i+1)*dim]
+		for j := 0; j < dim; j++ {
+			p[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*j:])))
+		}
+		pts[i] = p
+	}
+	return &Dataset{Name: path, Points: pts}, nil
+}

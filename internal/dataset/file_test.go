@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.hdx")
+	rng := rand.New(rand.NewSource(1))
+	d := GenerateUniform("u", 500, 6, rng)
+	if err := Save(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() || got.Dim() != d.Dim() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.N(), got.Dim(), d.N(), d.Dim())
+	}
+	for i := range d.Points {
+		for j := range d.Points[i] {
+			if math.Abs(got.Points[i][j]-d.Points[i][j]) > 1e-6 {
+				t.Fatalf("point %d dim %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.hdx")
+	if err := os.WriteFile(path, []byte("NOPExxxxxxxxxxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("expected error for bad magic")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trunc.hdx")
+	rng := rand.New(rand.NewSource(2))
+	d := GenerateUniform("u", 100, 4, rng)
+	if err := Save(path, d); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("expected error for truncated file")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/path.hdx"); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,235 @@
+// Package disk simulates a page-granular disk with the cost model used
+// throughout Lang & Singh (SIGMOD 2001): every access to a page that is
+// not adjacent to the previously accessed page costs one seek
+// (t_seek, average seek plus rotational latency), and every page moved
+// costs one transfer (t_xfer, the time to ship one page at the disk's
+// bandwidth).
+//
+// The disk stores real bytes, so code built on top of it (the on-disk
+// bulk loader, the resampling predictor's k consecutive areas) actually
+// round-trips its data rather than merely pricing hypothetical I/O.
+// Counters can be snapshotted and diffed to attribute cost to phases.
+package disk
+
+import (
+	"fmt"
+)
+
+// Params describes the physical characteristics of the simulated disk.
+type Params struct {
+	// PageBytes is the size of one disk page in bytes.
+	PageBytes int
+	// SeekSeconds is the average seek plus rotational latency.
+	SeekSeconds float64
+	// XferSeconds is the transfer time for a single page.
+	XferSeconds float64
+}
+
+// DefaultParams are the parameters the paper assumes in Section 4.6:
+// 8 KByte pages, 10 ms average seek plus latency, and a 20 MB/s
+// bandwidth giving 0.4 ms per page transfer.
+func DefaultParams() Params {
+	return Params{PageBytes: 8192, SeekSeconds: 0.010, XferSeconds: 0.0004}
+}
+
+// WithPageBytes returns a copy of p with the page size replaced and the
+// transfer time rescaled proportionally (constant bandwidth), as the
+// paper does when sweeping page sizes in Section 6.1.
+func (p Params) WithPageBytes(pageBytes int) Params {
+	if pageBytes <= 0 {
+		panic("disk: page size must be positive")
+	}
+	scaled := p
+	scaled.XferSeconds = p.XferSeconds * float64(pageBytes) / float64(p.PageBytes)
+	scaled.PageBytes = pageBytes
+	return scaled
+}
+
+// Counters accumulates disk activity.
+type Counters struct {
+	// Seeks is the number of accesses to a page not adjacent to the
+	// previously accessed page.
+	Seeks int64
+	// Transfers is the number of pages moved between disk and memory.
+	Transfers int64
+}
+
+// Add returns the element-wise sum of c and o.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{Seeks: c.Seeks + o.Seeks, Transfers: c.Transfers + o.Transfers}
+}
+
+// Sub returns the element-wise difference c - o.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{Seeks: c.Seeks - o.Seeks, Transfers: c.Transfers - o.Transfers}
+}
+
+// CostSeconds prices the counters under params: seeks*t_seek +
+// transfers*t_xfer.
+func (c Counters) CostSeconds(p Params) float64 {
+	return float64(c.Seeks)*p.SeekSeconds + float64(c.Transfers)*p.XferSeconds
+}
+
+// String renders the counters for reports.
+func (c Counters) String() string {
+	return fmt.Sprintf("%d seeks, %d transfers", c.Seeks, c.Transfers)
+}
+
+// Disk is a simulated disk. The zero value is not usable; construct
+// with New.
+type Disk struct {
+	params   Params
+	data     []byte
+	pages    int64 // allocated pages
+	counters Counters
+	lastPage int64 // last page touched, -1 if none
+}
+
+// New returns an empty disk with the given parameters.
+func New(params Params) *Disk {
+	if params.PageBytes <= 0 {
+		panic("disk: page size must be positive")
+	}
+	return &Disk{params: params, lastPage: noPage}
+}
+
+// Params returns the disk's physical parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// Counters returns the activity accumulated since construction or the
+// last ResetCounters.
+func (d *Disk) Counters() Counters { return d.counters }
+
+// ResetCounters zeroes the accumulated activity and forgets the head
+// position (the next access will seek).
+func (d *Disk) ResetCounters() {
+	d.counters = Counters{}
+	d.lastPage = noPage
+}
+
+// noPage marks an unknown head position: the next access always seeks.
+const noPage = -1 << 62
+
+// CostSeconds prices the accumulated activity under the disk's params.
+func (d *Disk) CostSeconds() float64 { return d.counters.CostSeconds(d.params) }
+
+// AllocatedPages returns the total number of pages allocated so far.
+func (d *Disk) AllocatedPages() int64 { return d.pages }
+
+// Alloc reserves a contiguous extent large enough for size bytes and
+// returns a File over it. Allocation itself performs no I/O.
+func (d *Disk) Alloc(size int64) *File {
+	if size < 0 {
+		panic("disk: negative allocation")
+	}
+	pageBytes := int64(d.params.PageBytes)
+	numPages := (size + pageBytes - 1) / pageBytes
+	if numPages == 0 {
+		numPages = 1
+	}
+	f := &File{
+		disk:      d,
+		startPage: d.pages,
+		numPages:  numPages,
+		size:      size,
+	}
+	d.pages += numPages
+	need := d.pages * pageBytes
+	if int64(len(d.data)) < need {
+		grown := make([]byte, need)
+		copy(grown, d.data)
+		d.data = grown
+	}
+	return f
+}
+
+// access records the cost of touching the inclusive page range
+// [first, last] in one sequential sweep.
+func (d *Disk) access(first, last int64) {
+	if first != d.lastPage+1 {
+		d.counters.Seeks++
+	}
+	d.counters.Transfers += last - first + 1
+	d.lastPage = last
+}
+
+// File is a contiguous extent of a Disk. Reads and writes are
+// byte-addressed within the file and are charged page-granular I/O.
+type File struct {
+	disk      *Disk
+	startPage int64
+	numPages  int64
+	size      int64
+}
+
+// Size returns the logical size of the file in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Disk returns the disk this file lives on.
+func (f *File) Disk() *Disk { return f.disk }
+
+// Pages returns the number of pages in the file's extent.
+func (f *File) Pages() int64 { return f.numPages }
+
+// StartPage returns the absolute page number of the file's first page.
+func (f *File) StartPage() int64 { return f.startPage }
+
+func (f *File) pageRange(off int64, n int) (first, last int64) {
+	if off < 0 || off+int64(n) > f.numPages*int64(f.disk.params.PageBytes) {
+		panic(fmt.Sprintf("disk: access [%d, %d) outside file of %d pages", off, off+int64(n), f.numPages))
+	}
+	pageBytes := int64(f.disk.params.PageBytes)
+	first = f.startPage + off/pageBytes
+	if n == 0 {
+		return first, first
+	}
+	last = f.startPage + (off+int64(n)-1)/pageBytes
+	return first, last
+}
+
+// ReadAt reads len(b) bytes starting at byte offset off, charging the
+// page accesses to the disk.
+func (f *File) ReadAt(b []byte, off int64) {
+	first, last := f.pageRange(off, len(b))
+	f.disk.access(first, last)
+	base := f.startPage * int64(f.disk.params.PageBytes)
+	copy(b, f.disk.data[base+off:])
+}
+
+// WriteAt writes b starting at byte offset off, charging the page
+// accesses to the disk.
+func (f *File) WriteAt(b []byte, off int64) {
+	first, last := f.pageRange(off, len(b))
+	f.disk.access(first, last)
+	base := f.startPage * int64(f.disk.params.PageBytes)
+	copy(f.disk.data[base+off:], b)
+}
+
+// readRaw and writeRaw move bytes without charging I/O. They exist for
+// higher-level abstractions in this package (PointFile) that perform
+// their own page-granular accounting via TouchPages.
+func (f *File) readRaw(b []byte, off int64) {
+	f.pageRange(off, len(b)) // bounds check only
+	base := f.startPage * int64(f.disk.params.PageBytes)
+	copy(b, f.disk.data[base+off:])
+}
+
+func (f *File) writeRaw(b []byte, off int64) {
+	f.pageRange(off, len(b)) // bounds check only
+	base := f.startPage * int64(f.disk.params.PageBytes)
+	copy(f.disk.data[base+off:], b)
+}
+
+// TouchPages charges the I/O for reading count pages starting at the
+// file-relative page index start, without moving data. The on-disk
+// index build uses this to account for directory-page writes whose
+// contents the simulation does not need to materialize.
+func (f *File) TouchPages(start, count int64) {
+	if count <= 0 {
+		return
+	}
+	if start < 0 || start+count > f.numPages {
+		panic("disk: TouchPages outside file")
+	}
+	f.disk.access(f.startPage+start, f.startPage+start+count-1)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hdidx/internal/costmodel"
+	"hdidx/internal/disk"
+)
+
+// SweepResult wraps an analytic cost sweep (Figures 9 and 10 and the
+// dataset-size comparison of Section 4.6).
+type SweepResult struct {
+	Title  string
+	XLabel string
+	Rows   []costmodel.Row
+}
+
+// Fig9 regenerates Figure 9: analytic I/O cost of the three approaches
+// versus memory size, for one million 60-dimensional points and 500
+// queries.
+func Fig9() (SweepResult, error) {
+	ms := []int{1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000}
+	rows, err := costmodel.SweepMemory(1000000, 60, 500, ms, disk.DefaultParams())
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("fig9: %w", err)
+	}
+	return SweepResult{
+		Title:  "Figure 9 — I/O cost for different memory sizes (N=1,000,000, d=60)",
+		XLabel: "M",
+		Rows:   rows,
+	}, nil
+}
+
+// Fig10 regenerates Figure 10: analytic I/O cost versus dimensionality
+// with M = 600,000/dim (so M = 10,000 at 60 dimensions).
+func Fig10() (SweepResult, error) {
+	dims := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120}
+	rows, err := costmodel.SweepDim(1000000, 500, 600000, dims, disk.DefaultParams())
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("fig10: %w", err)
+	}
+	return SweepResult{
+		Title:  "Figure 10 — I/O cost for different data dimensionalities (N=1,000,000, M=600,000/d)",
+		XLabel: "dim",
+		Rows:   rows,
+	}, nil
+}
+
+// SweepDatasetSize regenerates the dataset-size comparison described
+// at the end of Section 4.6.
+func SweepDatasetSize() (SweepResult, error) {
+	ns := []int{100000, 200000, 500000, 1000000, 2000000, 5000000}
+	rows, err := costmodel.SweepN(60, 500, 10000, ns, disk.DefaultParams())
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("sweepN: %w", err)
+	}
+	return SweepResult{
+		Title:  "Section 4.6 — I/O cost for different dataset sizes (d=60, M=10,000)",
+		XLabel: "N",
+		Rows:   rows,
+	}, nil
+}
+
+// String renders the sweep as a table with speedup columns.
+func (r SweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, r.Title)
+	fmt.Fprintf(&b, "%10s %12s %12s %10s %8s %10s %10s\n",
+		r.XLabel, "on-disk(s)", "resampled(s)", "cutoff(s)", "h_upper", "od/resmp", "od/cutoff")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %12.1f %12.1f %10.1f %8d %9.1fx %9.0fx\n",
+			row.X, row.OnDisk, row.Resampled, row.Cutoff, row.HUpper,
+			row.OnDisk/row.Resampled, row.OnDisk/row.Cutoff)
+	}
+	return b.String()
+}

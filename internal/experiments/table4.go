@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hdidx/internal/baseline"
+	"hdidx/internal/core"
+	"hdidx/internal/dataset"
+	"hdidx/internal/stats"
+)
+
+// Table4Row is one model's prediction in the comparison of Table 4.
+type Table4Row struct {
+	Method   string
+	Accesses float64
+	RelErr   float64
+}
+
+// Table4Result reproduces Table 4: prediction accuracy of the uniform,
+// fractal, and resampled models on the TEXTURE60 stand-in.
+type Table4Result struct {
+	Dataset      string
+	N            int
+	Pages        int
+	MeasuredMean float64
+	FractalDims  baseline.FractalDims
+	Rows         []Table4Row
+}
+
+// Table4 runs the model comparison of Section 5.3.
+func Table4(opt Options) (Table4Result, error) {
+	opt = opt.withDefaults()
+	env := newEnvironment(dataset.Texture60, opt)
+	measured := stats.Mean(env.measured)
+
+	k := opt.K
+	if k > len(env.data) {
+		k = len(env.data)
+	}
+	uni, err := baseline.UniformModel(len(env.data), env.g.Dim, k, env.g)
+	if err != nil {
+		return Table4Result{}, fmt.Errorf("table4 uniform: %w", err)
+	}
+	dims, err := baseline.EstimateFractalDims(env.data, 0)
+	if err != nil {
+		return Table4Result{}, fmt.Errorf("table4 fractal dims: %w", err)
+	}
+	fr, err := baseline.FractalModel(len(env.data), k, env.g, dims)
+	if err != nil {
+		return Table4Result{}, fmt.Errorf("table4 fractal: %w", err)
+	}
+	// Locally parametric baseline (extension: the paper excludes this
+	// category from Table 4 because it is "not applicable to high
+	// dimensions"; the row shows what its most charitable feasible
+	// variant — a histogram over the leading KLT dimensions — does).
+	histDims := env.g.Dim
+	if histDims > 10 {
+		histDims = 10
+	}
+	hist, err := baseline.BuildHistogram(env.data, histDims)
+	if err != nil {
+		return Table4Result{}, fmt.Errorf("table4 histogram: %w", err)
+	}
+	hr, err := baseline.HistogramModel(hist, env.g, env.spheres)
+	if err != nil {
+		return Table4Result{}, fmt.Errorf("table4 histogram model: %w", err)
+	}
+	rs, err := core.PredictResampled(env.pf, env.config(0, 4))
+	if err != nil {
+		return Table4Result{}, fmt.Errorf("table4 resampled: %w", err)
+	}
+
+	return Table4Result{
+		Dataset:      env.spec.Name,
+		N:            len(env.data),
+		Pages:        uni.Pages,
+		MeasuredMean: measured,
+		FractalDims:  dims,
+		Rows: []Table4Row{
+			{Method: "Uniform", Accesses: uni.Accesses, RelErr: stats.RelativeError(uni.Accesses, measured)},
+			{Method: "Fractal", Accesses: fr.Accesses, RelErr: stats.RelativeError(fr.Accesses, measured)},
+			{Method: "Histogram", Accesses: hr.Accesses, RelErr: stats.RelativeError(hr.Accesses, measured)},
+			{Method: "Resampled", Accesses: rs.Mean, RelErr: stats.RelativeError(rs.Mean, measured)},
+		},
+	}, nil
+}
+
+// String renders the table in the paper's layout.
+func (r Table4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 — prediction accuracy for different models (%s, N=%d, %d leaf pages)\n",
+		r.Dataset, r.N, r.Pages)
+	fmt.Fprintf(&b, "measured: %.0f leaf accesses/query; fractal dims D0=%.3f D2=%.3f\n",
+		r.MeasuredMean, r.FractalDims.D0, r.FractalDims.D2)
+	fmt.Fprintf(&b, "%-12s %14s %10s\n", "method", "pages accessed", "rel. error")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %14.0f %+9.0f%%\n", row.Method, row.Accesses, row.RelErr*100)
+	}
+	return b.String()
+}
+
+// Uniform8DResult reproduces the uniform-data sanity check of Section
+// 5.2: on 100,000 uniformly distributed 8-dimensional points the
+// resampled and cutoff errors were between -0.5% and -3%.
+type Uniform8DResult struct {
+	N            int
+	Height       int
+	MeasuredMean float64
+	ResampledErr float64
+	CutoffErr    float64
+}
+
+// Uniform8D runs the Section 5.2 uniform sanity check.
+func Uniform8D(opt Options) (Uniform8DResult, error) {
+	opt = opt.withDefaults()
+	spec := dataset.Spec{Name: "UNIFORM8", N: 100000, Dim: 8}
+	env := newEnvironment(spec, opt)
+	measured := stats.Mean(env.measured)
+
+	rs, err := core.PredictResampled(env.pf, env.config(0, 5))
+	if err != nil {
+		return Uniform8DResult{}, fmt.Errorf("uniform8d resampled: %w", err)
+	}
+	cu, err := core.PredictCutoff(env.pf, env.config(0, 6))
+	if err != nil {
+		return Uniform8DResult{}, fmt.Errorf("uniform8d cutoff: %w", err)
+	}
+	return Uniform8DResult{
+		N:            len(env.data),
+		Height:       env.tree.Height(),
+		MeasuredMean: measured,
+		ResampledErr: stats.RelativeError(rs.Mean, measured),
+		CutoffErr:    stats.RelativeError(cu.Mean, measured),
+	}, nil
+}
+
+// String renders the sanity check.
+func (r Uniform8DResult) String() string {
+	return fmt.Sprintf(
+		"Section 5.2 — uniform data sanity check (N=%d, 8-d, height %d)\n"+
+			"measured: %.1f accesses/query\n"+
+			"resampled rel. error: %+.1f%%\ncutoff rel. error:    %+.1f%%\n",
+		r.N, r.Height, r.MeasuredMean, r.ResampledErr*100, r.CutoffErr*100)
+}

@@ -1,0 +1,411 @@
+// Package mtree implements a bulk-loaded M-tree (Ciaccia, Patella &
+// Zezula, VLDB 1997; bulk loading per Ciaccia & Patella, ADC 1998 —
+// the paper's reference [10]): a metric index organizing points under
+// routing objects with covering radii, requiring only a distance
+// function, not coordinates.
+//
+// Section 4.7 lists the M-tree among the structures the sampling
+// prediction technique covers. The instantiation here mirrors the
+// SS-tree's: build a mini M-tree on a sample with the same bulk
+// loader, grow the leaf covering radii by the ball-shrinkage
+// compensation factor, count query-ball intersections. For metrics
+// other than the Euclidean the compensation uses the same model (the
+// factor depends only on how the within-page distance distribution
+// concentrates, which the ball model approximates).
+package mtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdidx/internal/vec"
+)
+
+// DistFunc is a metric on points.
+type DistFunc func(a, b []float64) float64
+
+// Euclidean is the default metric.
+func Euclidean(a, b []float64) float64 { return vec.Dist(a, b) }
+
+// L1 is the Manhattan metric, used by tests to demonstrate metric
+// generality.
+func L1(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Node is one M-tree page: a routing object (pivot) with a covering
+// radius over its subtree.
+type Node struct {
+	Level  int
+	Pivot  []float64
+	Radius float64
+	// Children for directory nodes, Points for leaves.
+	Children []*Node
+	Points   [][]float64
+}
+
+// IsLeaf reports whether the node is a data page.
+func (n *Node) IsLeaf() bool { return n.Level == 1 }
+
+// BuildParams parameterizes the bulk loader (float capacities for
+// sampling-scaled mini-index builds, as elsewhere).
+type BuildParams struct {
+	LeafCap float64
+	DirCap  float64
+	Height  int
+	// Dist is the metric; nil means Euclidean.
+	Dist DistFunc
+	// Seed drives pivot selection.
+	Seed int64
+}
+
+func (p BuildParams) dist() DistFunc {
+	if p.Dist == nil {
+		return Euclidean
+	}
+	return p.Dist
+}
+
+// Scaled returns params with the leaf capacity scaled by zeta and the
+// height forced.
+func (p BuildParams) Scaled(zeta float64, fullHeight int) BuildParams {
+	s := p
+	s.LeafCap = p.LeafCap * zeta
+	s.Height = fullHeight
+	return s
+}
+
+// DeriveHeight returns the minimal height for n points.
+func (p BuildParams) DeriveHeight(n int) int {
+	h := 1
+	cap := p.LeafCap
+	for cap < float64(n) {
+		cap *= p.DirCap
+		h++
+	}
+	return h
+}
+
+func (p BuildParams) subtreeCap(level int) float64 {
+	cap := p.LeafCap
+	for l := 2; l <= level; l++ {
+		cap *= p.DirCap
+	}
+	return cap
+}
+
+// Tree is a bulk-loaded M-tree.
+type Tree struct {
+	Root      *Node
+	Dist      DistFunc
+	NumPoints int
+	leaves    []*Node
+	nodes     int
+}
+
+// Height returns the tree height.
+func (t *Tree) Height() int {
+	if t.Root == nil {
+		return 0
+	}
+	return t.Root.Level
+}
+
+// NumLeaves returns the number of data pages.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// NumNodes returns the total page count.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// Leaves returns the leaf pages (owned by the tree).
+func (t *Tree) Leaves() []*Node { return t.leaves }
+
+// Build bulk-loads an M-tree over pts, following the Ciaccia-Patella
+// scheme: sample k pivots, assign every point to its nearest pivot,
+// recurse per group.
+func Build(pts [][]float64, params BuildParams) *Tree {
+	if len(pts) == 0 {
+		panic("mtree: Build on empty point set")
+	}
+	if params.LeafCap <= 0 || params.DirCap < 2 {
+		panic(fmt.Sprintf("mtree: invalid capacities %+v", params))
+	}
+	height := params.Height
+	if height <= 0 {
+		height = params.DeriveHeight(len(pts))
+	}
+	b := &builder{
+		params: params,
+		dist:   params.dist(),
+		rng:    rand.New(rand.NewSource(params.Seed + 1)),
+	}
+	root := b.buildLevel(append([][]float64(nil), pts...), height)
+	t := &Tree{Root: root, Dist: b.dist, NumPoints: len(pts)}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		t.nodes++
+		if n.IsLeaf() {
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return t
+}
+
+type builder struct {
+	params BuildParams
+	dist   DistFunc
+	rng    *rand.Rand
+}
+
+func (b *builder) buildLevel(pts [][]float64, level int) *Node {
+	if level == 1 {
+		return b.newLeaf(pts)
+	}
+	subcap := b.params.subtreeCap(level - 1)
+	k := int(math.Ceil(float64(len(pts)) / subcap))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	if maxFan := int(math.Ceil(b.params.DirCap)); k > maxFan {
+		k = maxFan
+	}
+	groups := b.partition(pts, k, subcap)
+	node := &Node{Level: level, Children: make([]*Node, 0, len(groups))}
+	for _, g := range groups {
+		node.Children = append(node.Children, b.buildLevel(g, level-1))
+	}
+	b.bound(node)
+	return node
+}
+
+// partition assigns points to k sampled pivots by nearest distance,
+// then rebalances groups exceeding the subtree capacity by spilling
+// their farthest points to the nearest non-full pivot.
+func (b *builder) partition(pts [][]float64, k int, subcap float64) [][][]float64 {
+	if k == 1 {
+		return [][][]float64{pts}
+	}
+	// Sample k distinct pivots.
+	pivotIdx := b.rng.Perm(len(pts))[:k]
+	pivots := make([][]float64, k)
+	for i, idx := range pivotIdx {
+		pivots[i] = pts[idx]
+	}
+	groups := make([][][]float64, k)
+	for _, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for i, pv := range pivots {
+			if d := b.dist(p, pv); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		groups[best] = append(groups[best], p)
+	}
+	// Spill overfull groups (capacity ceiling with slack for the
+	// final group structure).
+	capLimit := int(math.Ceil(subcap))
+	for i := range groups {
+		for len(groups[i]) > capLimit {
+			// Move the point farthest from pivot i to its next-best
+			// non-full pivot.
+			far, farD := -1, -1.0
+			for j, p := range groups[i] {
+				if d := b.dist(p, pivots[i]); d > farD {
+					far, farD = j, d
+				}
+			}
+			p := groups[i][far]
+			groups[i] = append(groups[i][:far], groups[i][far+1:]...)
+			best, bestD := -1, math.Inf(1)
+			for j := range groups {
+				if j == i || len(groups[j]) >= capLimit {
+					continue
+				}
+				if d := b.dist(p, pivots[j]); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if best < 0 {
+				// Everything full: put it back and stop rebalancing.
+				groups[i] = append(groups[i], p)
+				break
+			}
+			groups[best] = append(groups[best], p)
+		}
+	}
+	// Drop empty groups.
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// newLeaf creates a leaf with its medoid-ish pivot (the sampled first
+// point, as Ciaccia-Patella's simple promotion) and covering radius.
+func (b *builder) newLeaf(pts [][]float64) *Node {
+	pivot := pts[0]
+	var r float64
+	for _, p := range pts {
+		if d := b.dist(p, pivot); d > r {
+			r = d
+		}
+	}
+	return &Node{Level: 1, Pivot: pivot, Radius: r, Points: pts}
+}
+
+// bound sets a directory node's routing object: the first child's
+// pivot promoted, radius covering all children.
+func (b *builder) bound(n *Node) {
+	n.Pivot = n.Children[0].Pivot
+	for _, c := range n.Children {
+		if r := b.dist(n.Pivot, c.Pivot) + c.Radius; r > n.Radius {
+			n.Radius = r
+		}
+	}
+}
+
+// Validate checks the covering-radius invariants.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("mtree: nil root")
+	}
+	total := 0
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if n.IsLeaf() {
+			if len(n.Points) == 0 {
+				return fmt.Errorf("mtree: empty leaf")
+			}
+			total += len(n.Points)
+			for _, p := range n.Points {
+				if t.Dist(p, n.Pivot) > n.Radius+1e-9 {
+					return fmt.Errorf("mtree: point outside covering radius")
+				}
+			}
+			return nil
+		}
+		for _, c := range n.Children {
+			if c.Level != n.Level-1 {
+				return fmt.Errorf("mtree: child level %d under %d", c.Level, n.Level)
+			}
+			if t.Dist(n.Pivot, c.Pivot)+c.Radius > n.Radius+1e-9 {
+				return fmt.Errorf("mtree: child ball escapes parent")
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.Root); err != nil {
+		return err
+	}
+	if total != t.NumPoints {
+		return fmt.Errorf("mtree: %d points in leaves, want %d", total, t.NumPoints)
+	}
+	return nil
+}
+
+// Result reports the page accesses of one M-tree search.
+type Result struct {
+	Radius       float64
+	LeafAccesses int
+	DirAccesses  int
+}
+
+// KNNSearch runs the best-first k-NN search.
+func KNNSearch(t *Tree, q []float64, k int) Result {
+	if k <= 0 || k > t.NumPoints {
+		panic(fmt.Sprintf("mtree: k = %d outside [1, %d]", k, t.NumPoints))
+	}
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeEntry{node: t.Root, dist: minDist(t, t.Root, q)})
+	kth := math.Inf(1)
+	var best []float64
+	res := Result{}
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(nodeEntry)
+		if e.dist > kth {
+			break
+		}
+		if e.node.IsLeaf() {
+			res.LeafAccesses++
+			for _, p := range e.node.Points {
+				d := t.Dist(p, q)
+				best = insertBounded(best, d, k)
+				if len(best) == k {
+					kth = best[k-1]
+				}
+			}
+			continue
+		}
+		res.DirAccesses++
+		for _, c := range e.node.Children {
+			if d := minDist(t, c, q); d <= kth {
+				heap.Push(pq, nodeEntry{node: c, dist: d})
+			}
+		}
+	}
+	res.Radius = kth
+	return res
+}
+
+func minDist(t *Tree, n *Node, q []float64) float64 {
+	d := t.Dist(q, n.Pivot) - n.Radius
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func insertBounded(best []float64, d float64, k int) []float64 {
+	i := len(best)
+	for i > 0 && best[i-1] > d {
+		i--
+	}
+	if i >= k {
+		return best
+	}
+	if len(best) < k {
+		best = append(best, 0)
+	}
+	copy(best[i+1:], best[i:])
+	best[i] = d
+	return best
+}
+
+type nodeEntry struct {
+	node *Node
+	dist float64
+}
+
+type nodeHeap []nodeEntry
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

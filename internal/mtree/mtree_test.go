@@ -1,0 +1,206 @@
+package mtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdidx/internal/dataset"
+	"hdidx/internal/query"
+	"hdidx/internal/stats"
+)
+
+func clusteredPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	spec := dataset.Spec{Name: "c", N: n, Dim: dim, Clusters: 10, VarianceDecay: 0.9, ClusterStd: 0.1}
+	return spec.Generate(rng).Points
+}
+
+func params() BuildParams {
+	return BuildParams{LeafCap: 32, DirCap: 15, Seed: 1}
+}
+
+func TestBuildValidates(t *testing.T) {
+	pts := clusteredPoints(3000, 8, 1)
+	tr := Build(pts, params())
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPoints != 3000 {
+		t.Errorf("NumPoints = %d", tr.NumPoints)
+	}
+	if tr.NumLeaves() < 80 {
+		t.Errorf("leaves = %d", tr.NumLeaves())
+	}
+}
+
+func TestBuildSingleLeaf(t *testing.T) {
+	pts := clusteredPoints(5, 3, 2)
+	tr := Build(pts, BuildParams{LeafCap: 10, DirCap: 4})
+	if tr.Height() != 1 || tr.NumLeaves() != 1 {
+		t.Fatalf("height=%d leaves=%d", tr.Height(), tr.NumLeaves())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(nil, params())
+}
+
+func TestKNNMatchesBruteForceEuclidean(t *testing.T) {
+	data := clusteredPoints(2000, 8, 3)
+	tr := Build(data, params())
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		q := data[rng.Intn(len(data))]
+		for _, k := range []int{1, 5, 21} {
+			want := query.KNNBruteRadius(data, q, k)
+			got := KNNSearch(tr, q, k)
+			if math.Abs(got.Radius-want) > 1e-9 {
+				t.Fatalf("k=%d: radius %v, want %v", k, got.Radius, want)
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForceL1(t *testing.T) {
+	// Metric generality: the M-tree needs only a metric, so L1 must
+	// work identically.
+	data := clusteredPoints(1500, 6, 5)
+	p := params()
+	p.Dist = L1
+	tr := Build(data, p)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		q := data[rng.Intn(len(data))]
+		// Brute force under L1.
+		dists := make([]float64, len(data))
+		for i, x := range data {
+			dists[i] = L1(x, q)
+		}
+		k := 1 + rng.Intn(10)
+		want := kthSmallest(dists, k)
+		got := KNNSearch(tr, q, k)
+		if math.Abs(got.Radius-want) > 1e-9 {
+			t.Fatalf("L1 k=%d: radius %v, want %v", k, got.Radius, want)
+		}
+	}
+}
+
+func kthSmallest(xs []float64, k int) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[min] {
+				min = j
+			}
+		}
+		cp[i], cp[min] = cp[min], cp[i]
+	}
+	return cp[k-1]
+}
+
+func TestKNNPanicsOnBadK(t *testing.T) {
+	tr := Build(clusteredPoints(10, 2, 7), BuildParams{LeafCap: 4, DirCap: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KNNSearch(tr, []float64{0, 0}, 0)
+}
+
+func TestPartitionRespectsCapacity(t *testing.T) {
+	pts := clusteredPoints(1000, 4, 8)
+	tr := Build(pts, params())
+	for _, l := range tr.Leaves() {
+		if len(l.Points) > 33 { // ceil(LeafCap) + rebalancing slack
+			t.Errorf("leaf holds %d points", len(l.Points))
+		}
+	}
+}
+
+// Property: M-tree k-NN equals brute force for random data and k.
+func TestKNNProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(400)
+		dim := 1 + r.Intn(8)
+		data := dataset.GenerateUniform("u", n, dim, r).Points
+		tr := Build(data, BuildParams{
+			LeafCap: 2 + r.Float64()*30,
+			DirCap:  2 + float64(r.Intn(14)),
+			Seed:    seed,
+		})
+		if tr.Validate() != nil {
+			return false
+		}
+		k := 1 + r.Intn(10)
+		q := make([]float64, dim)
+		for i := range q {
+			q[i] = r.Float64()
+		}
+		want := query.KNNBruteRadius(data, q, k)
+		return math.Abs(KNNSearch(tr, q, k).Radius-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictAccuracy(t *testing.T) {
+	data := clusteredPoints(15000, 16, 9)
+	g := NewGeometry(16)
+	rng := rand.New(rand.NewSource(10))
+	queryPoints := make([][]float64, 60)
+	for i := range queryPoints {
+		queryPoints[i] = data[rng.Intn(len(data))]
+	}
+	spheres := query.ComputeSpheres(data, queryPoints, 21)
+
+	p := Params(g)
+	p.Seed = 11
+	tree := Build(data, p)
+	measured := stats.Mean(MeasureLeafAccesses(tree, spheres))
+
+	pred, err := Predict(data, 0.2, true, g, nil, spheres, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := stats.RelativeError(pred.Mean, measured)
+	if math.Abs(re) > 0.35 {
+		t.Errorf("M-tree prediction error %+.2f (pred %.1f, meas %.1f)", re, pred.Mean, measured)
+	}
+}
+
+func TestPredictRejectsBadFraction(t *testing.T) {
+	data := clusteredPoints(100, 4, 13)
+	g := NewGeometry(4)
+	for _, z := range []float64{0, -1, 1.5, 1e-6} {
+		if _, err := Predict(data, z, true, g, nil, nil, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("zeta=%v: expected error", z)
+		}
+	}
+}
+
+func BenchmarkMTreeKNN(b *testing.B) {
+	data := clusteredPoints(20000, 16, 14)
+	tr := Build(data, Params(NewGeometry(16)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KNNSearch(tr, data[i%len(data)], 21)
+	}
+}

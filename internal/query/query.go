@@ -1,0 +1,349 @@
+// Package query implements the query side of the reproduction:
+// brute-force and best-first k-NN search, query-sphere computation,
+// leaf-access counting, and the density-biased k-NN workload generator
+// of Lang & Singh (SIGMOD 2001), Section 4.2.
+//
+// A k-NN query is represented by its query sphere — the ball around
+// the query point whose radius is the distance to the k-th nearest
+// neighbor. The number of index leaf pages an optimal k-NN search
+// (Hjaltason–Samet best-first) accesses equals the number of leaf MBRs
+// intersecting this sphere, which is what both the measurements and
+// the predictions count.
+package query
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"hdidx/internal/mbr"
+	"hdidx/internal/rtree"
+)
+
+// Sphere is a query region: the k-NN ball of a query point.
+type Sphere struct {
+	Center []float64
+	Radius float64
+}
+
+// Intersects reports whether the sphere touches the rectangle.
+func (s Sphere) Intersects(r mbr.Rect) bool {
+	return r.IntersectsSphere(s.Center, s.Radius)
+}
+
+// KNNBruteRadius returns the distance from q to its k-th nearest
+// neighbor in pts by linear scan. If q is itself an element of pts it
+// participates at distance zero, matching the paper's density-biased
+// workloads whose query points are drawn from the dataset. It panics
+// if k exceeds the number of points or is not positive.
+func KNNBruteRadius(pts [][]float64, q []float64, k int) float64 {
+	if k <= 0 || k > len(pts) {
+		panic(fmt.Sprintf("query: k = %d outside [1, %d]", k, len(pts)))
+	}
+	h := newBoundedMaxHeap(k)
+	for _, p := range pts {
+		h.offer(sqDist(p, q))
+	}
+	return math.Sqrt(h.max())
+}
+
+// ComputeSpheres computes the k-NN sphere of every query point against
+// the full dataset, the way the paper determines its query shapes
+// during the single dataset scan. Queries are processed in parallel.
+func ComputeSpheres(data [][]float64, queryPoints [][]float64, k int) []Sphere {
+	spheres := make([]Sphere, len(queryPoints))
+	parallelFor(len(queryPoints), func(i int) {
+		spheres[i] = Sphere{
+			Center: queryPoints[i],
+			Radius: KNNBruteRadius(data, queryPoints[i], k),
+		}
+	})
+	return spheres
+}
+
+// DensityBiasedWorkload draws q query points uniformly from the
+// dataset (so denser regions receive proportionally more queries) and
+// computes their k-NN spheres against the full dataset.
+func DensityBiasedWorkload(data [][]float64, q, k int, rng *rand.Rand) []Sphere {
+	if q <= 0 {
+		panic("query: workload needs at least one query")
+	}
+	queryPoints := make([][]float64, q)
+	for i := range queryPoints {
+		queryPoints[i] = data[rng.Intn(len(data))]
+	}
+	return ComputeSpheres(data, queryPoints, k)
+}
+
+// CountIntersections returns the number of rectangles intersecting the
+// sphere. This is the page-access count of an optimal k-NN search over
+// leaves with those MBRs, and the quantity every predictor estimates.
+func CountIntersections(rects []mbr.Rect, s Sphere) int {
+	n := 0
+	for _, r := range rects {
+		if s.Intersects(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// MeasureLeafAccesses counts, for each query sphere, the leaf pages of
+// the tree intersecting it. Queries run in parallel.
+func MeasureLeafAccesses(t *rtree.Tree, spheres []Sphere) []float64 {
+	rects := t.LeafRects()
+	out := make([]float64, len(spheres))
+	parallelFor(len(spheres), func(i int) {
+		out[i] = float64(CountIntersections(rects, spheres[i]))
+	})
+	return out
+}
+
+// Result reports the page accesses of one tree search.
+type Result struct {
+	// Radius is the distance to the k-th nearest neighbor found.
+	Radius float64
+	// LeafAccesses is the number of leaf pages read.
+	LeafAccesses int
+	// DirAccesses is the number of directory pages read (including
+	// the root).
+	DirAccesses int
+	// Neighbors holds the k nearest points, closest first.
+	Neighbors [][]float64
+}
+
+// KNNSearch runs the optimal best-first (Hjaltason–Samet) k-NN search
+// on the tree and reports the pages accessed.
+func KNNSearch(t *rtree.Tree, q []float64, k int) Result {
+	if k <= 0 || k > t.NumPoints {
+		panic(fmt.Sprintf("query: k = %d outside [1, %d]", k, t.NumPoints))
+	}
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeEntry{node: t.Root, dist: t.Root.Rect.MinSqDist(q)})
+	best := newBoundedMaxHeap(k)
+	res := Result{}
+	var cands []cand
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(nodeEntry)
+		if best.full() && e.dist > best.max() {
+			break
+		}
+		if e.node.IsLeaf() {
+			res.LeafAccesses++
+			for _, p := range e.node.Points {
+				d := sqDist(p, q)
+				best.offer(d)
+				cands = append(cands, cand{p: p, d: d})
+			}
+			continue
+		}
+		res.DirAccesses++
+		for _, c := range e.node.Children {
+			d := c.Rect.MinSqDist(q)
+			if !best.full() || d <= best.max() {
+				heap.Push(pq, nodeEntry{node: c, dist: d})
+			}
+		}
+	}
+	res.Radius = math.Sqrt(best.max())
+	res.Neighbors = selectNearest(cands, k)
+	return res
+}
+
+// cand is a data point encountered during search with its squared
+// distance to the query.
+type cand struct {
+	p []float64
+	d float64
+}
+
+func selectNearest(cands []cand, k int) [][]float64 {
+	// Partial selection sort: k is small.
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([][]float64, 0, k)
+	used := make([]bool, len(cands))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, c := range cands {
+			if used[i] {
+				continue
+			}
+			if best < 0 || c.d < cands[best].d {
+				best = i
+			}
+		}
+		used[best] = true
+		out = append(out, cands[best].p)
+	}
+	return out
+}
+
+// MeasureKNN runs best-first k-NN for each query point and returns the
+// per-query leaf accesses. Queries run in parallel.
+func MeasureKNN(t *rtree.Tree, queryPoints [][]float64, k int) []Result {
+	out := make([]Result, len(queryPoints))
+	parallelFor(len(queryPoints), func(i int) {
+		out[i] = KNNSearch(t, queryPoints[i], k)
+	})
+	return out
+}
+
+// RangeSearch counts the points of the tree within the sphere and the
+// pages accessed doing so.
+func RangeSearch(t *rtree.Tree, s Sphere) (points int, res Result) {
+	r2 := s.Radius * s.Radius
+	var rec func(n *rtree.Node)
+	rec = func(n *rtree.Node) {
+		if n.Rect.MinSqDist(s.Center) > r2 {
+			return
+		}
+		if n.IsLeaf() {
+			res.LeafAccesses++
+			for _, p := range n.Points {
+				if sqDist(p, s.Center) <= r2 {
+					points++
+				}
+			}
+			return
+		}
+		res.DirAccesses++
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+	res.Radius = s.Radius
+	return points, res
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ParallelFor runs f(i) for i in [0, n) on up to GOMAXPROCS workers
+// and waits for completion. It is exported for the predictors' CPU-
+// bound loops (sphere scans, point classification).
+func ParallelFor(n int, f func(int)) { parallelFor(n, f) }
+
+// parallelFor runs f(i) for i in [0, n) on up to GOMAXPROCS workers.
+func parallelFor(n int, f func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// nodeEntry / nodeHeap implement the best-first priority queue.
+type nodeEntry struct {
+	node *rtree.Node
+	dist float64
+}
+
+type nodeHeap []nodeEntry
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// boundedMaxHeap keeps the k smallest values offered; max() is the
+// current k-th smallest (or +Inf until full).
+type boundedMaxHeap struct {
+	k    int
+	vals []float64
+}
+
+func newBoundedMaxHeap(k int) *boundedMaxHeap {
+	return &boundedMaxHeap{k: k, vals: make([]float64, 0, k)}
+}
+
+func (h *boundedMaxHeap) full() bool { return len(h.vals) == h.k }
+
+func (h *boundedMaxHeap) max() float64 {
+	if !h.full() {
+		return math.Inf(1)
+	}
+	return h.vals[0]
+}
+
+func (h *boundedMaxHeap) offer(v float64) {
+	if len(h.vals) < h.k {
+		h.vals = append(h.vals, v)
+		h.up(len(h.vals) - 1)
+		return
+	}
+	if v >= h.vals[0] {
+		return
+	}
+	h.vals[0] = v
+	h.down(0)
+}
+
+func (h *boundedMaxHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.vals[parent] >= h.vals[i] {
+			return
+		}
+		h.vals[parent], h.vals[i] = h.vals[i], h.vals[parent]
+		i = parent
+	}
+}
+
+func (h *boundedMaxHeap) down(i int) {
+	n := len(h.vals)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.vals[l] > h.vals[largest] {
+			largest = l
+		}
+		if r < n && h.vals[r] > h.vals[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.vals[i], h.vals[largest] = h.vals[largest], h.vals[i]
+		i = largest
+	}
+}

@@ -1,0 +1,52 @@
+package query
+
+import "math"
+
+// SphereScanner computes the k-NN radii of a fixed set of query points
+// over a dataset that is streamed in chunks — the way the predictors
+// of the paper determine their query spheres during the single dataset
+// scan (Figure 5 step 3, Figure 7 step 3).
+type SphereScanner struct {
+	queryPoints [][]float64
+	k           int
+	heaps       []*boundedMaxHeap
+	seen        int
+}
+
+// NewSphereScanner prepares a scanner for the given query points and k.
+func NewSphereScanner(queryPoints [][]float64, k int) *SphereScanner {
+	if k <= 0 {
+		panic("query: k must be positive")
+	}
+	heaps := make([]*boundedMaxHeap, len(queryPoints))
+	for i := range heaps {
+		heaps[i] = newBoundedMaxHeap(k)
+	}
+	return &SphereScanner{queryPoints: queryPoints, k: k, heaps: heaps}
+}
+
+// Process feeds one chunk of the dataset to the scanner. Queries are
+// updated in parallel.
+func (s *SphereScanner) Process(chunk [][]float64) {
+	s.seen += len(chunk)
+	parallelFor(len(s.queryPoints), func(i int) {
+		q := s.queryPoints[i]
+		h := s.heaps[i]
+		for _, p := range chunk {
+			h.offer(sqDist(p, q))
+		}
+	})
+}
+
+// Spheres returns the k-NN spheres after the full dataset has been
+// processed. It panics if fewer than k points were seen.
+func (s *SphereScanner) Spheres() []Sphere {
+	if s.seen < s.k {
+		panic("query: scanner saw fewer points than k")
+	}
+	out := make([]Sphere, len(s.queryPoints))
+	for i, h := range s.heaps {
+		out[i] = Sphere{Center: s.queryPoints[i], Radius: math.Sqrt(h.max())}
+	}
+	return out
+}

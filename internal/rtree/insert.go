@@ -1,0 +1,399 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hdidx/internal/mbr"
+)
+
+// Dynamic R*-tree insertion (Beckmann, Kriegel, Schneider & Seeger,
+// SIGMOD 1990): ChooseSubtree with minimum overlap enlargement at the
+// leaf level, the topological R* split (minimum-margin axis, minimum-
+// overlap distribution), and forced reinsertion of the 30% outermost
+// entries on the first overflow per level.
+//
+// The paper's prediction problem statement covers "index structures
+// that organize the data in fixed-capacity pages with a given storage
+// utilization"; a dynamically grown R*-tree is the canonical instance
+// whose utilization is *not* the bulk loader's near-100% but the
+// 60-75% dynamic splits settle at. The dynamic-index experiment
+// measures that utilization and feeds it to the predictors.
+
+// reinsertFraction is the share of entries removed on forced reinsert.
+const reinsertFraction = 0.3
+
+// minFillFraction is the R*-tree minimum fill m/M.
+const minFillFraction = 0.4
+
+// DynamicTree wraps a Tree grown by insertion.
+type DynamicTree struct {
+	Tree
+	maxLeaf int
+	maxDir  int
+	minLeaf int
+	minDir  int
+}
+
+// NewDynamic returns an empty dynamic R*-tree with the page capacities
+// of g (the *maximum* capacities — dynamic trees fill pages to the
+// brim and split, which is what produces sub-unit utilization).
+func NewDynamic(g Geometry) *DynamicTree {
+	maxLeaf := g.MaxDataCapacity()
+	if maxLeaf < 2 {
+		maxLeaf = 2
+	}
+	return NewDynamicCustom(g.Dim, maxLeaf, g.MaxDirCapacity())
+}
+
+// NewDynamicCustom returns an empty dynamic R*-tree with explicit page
+// capacities. The sampling predictors use it to build structurally
+// similar dynamic mini-indexes: the leaf capacity scales with the
+// sampling fraction while the directory capacity stays that of the
+// full index (Section 3.1's structural-similarity requirement, applied
+// to the insertion algorithm instead of the bulk loader).
+func NewDynamicCustom(dim, maxLeaf, maxDir int) *DynamicTree {
+	if dim < 1 || maxLeaf < 2 || maxDir < 2 {
+		panic(fmt.Sprintf("rtree: invalid dynamic capacities dim=%d leaf=%d dir=%d", dim, maxLeaf, maxDir))
+	}
+	t := &DynamicTree{
+		maxLeaf: maxLeaf,
+		maxDir:  maxDir,
+		minLeaf: maxInt(1, int(float64(maxLeaf)*minFillFraction)),
+		minDir:  maxInt(1, int(float64(maxDir)*minFillFraction)),
+	}
+	t.Dim = dim
+	t.Params = BuildParams{LeafCap: float64(maxLeaf), DirCap: float64(maxDir)}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Insert adds one point.
+func (t *DynamicTree) Insert(p []float64) {
+	if len(p) != t.Dim {
+		panic(fmt.Sprintf("rtree: insert dimension %d != tree dimension %d", len(p), t.Dim))
+	}
+	t.dirty = true
+	t.NumPoints++
+	if t.Root == nil {
+		t.Root = &Node{Level: 1, Rect: mbr.New(p), Points: [][]float64{p}}
+		return
+	}
+	reinserted := make(map[int]bool)
+	t.insertAtLevel(p, nil, 1, reinserted)
+}
+
+// insertAtLevel inserts either a point (subtree == nil) at level 1 or
+// a subtree at the given level, applying forced reinsertion once per
+// level per insertion.
+func (t *DynamicTree) insertAtLevel(p []float64, subtree *Node, level int, reinserted map[int]bool) {
+	split := t.insert(t.Root, p, subtree, level, reinserted)
+	if split != nil {
+		old := t.Root
+		t.Root = &Node{
+			Level:    old.Level + 1,
+			Rect:     mbr.Union(old.Rect, split.Rect),
+			Children: []*Node{old, split},
+		}
+	}
+}
+
+// insert descends to the target level and returns a split sibling if
+// the node overflowed and was split (nil otherwise).
+func (t *DynamicTree) insert(n *Node, p []float64, subtree *Node, level int, reinserted map[int]bool) *Node {
+	if subtree == nil {
+		n.Rect.Extend(p)
+	} else {
+		n.Rect.ExtendRect(subtree.Rect)
+	}
+	if n.Level == level {
+		if subtree == nil {
+			n.Points = append(n.Points, p)
+		} else {
+			n.Children = append(n.Children, subtree)
+		}
+		return t.handleOverflow(n, reinserted)
+	}
+	child := chooseSubtree(n, p, subtree)
+	if split := t.insert(child, p, subtree, level, reinserted); split != nil {
+		n.Children = append(n.Children, split)
+		return t.handleOverflow(n, reinserted)
+	}
+	return nil
+}
+
+func (t *DynamicTree) capacityOf(n *Node) int {
+	if n.IsLeaf() {
+		return t.maxLeaf
+	}
+	return t.maxDir
+}
+
+func (t *DynamicTree) minOf(n *Node) int {
+	if n.IsLeaf() {
+		return t.minLeaf
+	}
+	return t.minDir
+}
+
+func (n *Node) fanout() int {
+	if n.IsLeaf() {
+		return len(n.Points)
+	}
+	return len(n.Children)
+}
+
+// handleOverflow applies forced reinsertion on the first overflow at a
+// level (unless it is the root) and splits otherwise.
+func (t *DynamicTree) handleOverflow(n *Node, reinserted map[int]bool) *Node {
+	if n.fanout() <= t.capacityOf(n) {
+		return nil
+	}
+	if n != t.Root && !reinserted[n.Level] {
+		reinserted[n.Level] = true
+		t.reinsert(n, reinserted)
+		return nil
+	}
+	return t.split(n)
+}
+
+// reinsert removes the reinsertFraction entries farthest from the
+// node's center and inserts them again from the top.
+func (t *DynamicTree) reinsert(n *Node, reinserted map[int]bool) {
+	c := n.Rect.Center()
+	count := int(float64(n.fanout()) * reinsertFraction)
+	if count < 1 {
+		count = 1
+	}
+	if n.IsLeaf() {
+		sort.Slice(n.Points, func(i, j int) bool {
+			return sqDistTo(n.Points[i], c) < sqDistTo(n.Points[j], c)
+		})
+		removed := append([][]float64(nil), n.Points[len(n.Points)-count:]...)
+		n.Points = n.Points[:len(n.Points)-count]
+		n.Rect = mbr.Bound(n.Points)
+		// Close reinsertion: nearest first.
+		for i := len(removed) - 1; i >= 0; i-- {
+			t.insertAtLevel(removed[i], nil, 1, reinserted)
+		}
+		return
+	}
+	sort.Slice(n.Children, func(i, j int) bool {
+		return sqDistTo(n.Children[i].Rect.Center(), c) < sqDistTo(n.Children[j].Rect.Center(), c)
+	})
+	removed := append([]*Node(nil), n.Children[len(n.Children)-count:]...)
+	n.Children = n.Children[:len(n.Children)-count]
+	recomputeRect(n)
+	for i := len(removed) - 1; i >= 0; i-- {
+		t.insertAtLevel(nil, removed[i], n.Level, reinserted)
+	}
+}
+
+func sqDistTo(p, c []float64) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - c[i]
+		s += d * d
+	}
+	return s
+}
+
+func recomputeRect(n *Node) {
+	if n.IsLeaf() {
+		n.Rect = mbr.Bound(n.Points)
+		return
+	}
+	n.Rect = n.Children[0].Rect.Clone()
+	for _, c := range n.Children[1:] {
+		n.Rect.ExtendRect(c.Rect)
+	}
+}
+
+// chooseSubtree implements the R*-tree descent heuristic.
+func chooseSubtree(n *Node, p []float64, subtree *Node) *Node {
+	atLeafParent := n.Level == 2 && subtree == nil
+	best := -1
+	bestOverlap, bestEnlarge, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+	for i, c := range n.Children {
+		enlarged := c.Rect.Clone()
+		if subtree == nil {
+			enlarged.Extend(p)
+		} else {
+			enlarged.ExtendRect(subtree.Rect)
+		}
+		enlarge := enlarged.Margin() - c.Rect.Margin() // margin is robust where volume underflows
+		area := c.Rect.Margin()
+		overlap := 0.0
+		if atLeafParent {
+			for j, o := range n.Children {
+				if j == i {
+					continue
+				}
+				overlap += overlapMargin(enlarged, o.Rect) - overlapMargin(c.Rect, o.Rect)
+			}
+		}
+		if best < 0 || less3(overlap, enlarge, area, bestOverlap, bestEnlarge, bestArea) {
+			best, bestOverlap, bestEnlarge, bestArea = i, overlap, enlarge, area
+		}
+	}
+	return n.Children[best]
+}
+
+// less3 compares (overlap, enlargement, area) lexicographically.
+func less3(o1, e1, a1, o2, e2, a2 float64) bool {
+	if o1 != o2 {
+		return o1 < o2
+	}
+	if e1 != e2 {
+		return e1 < e2
+	}
+	return a1 < a2
+}
+
+// overlapMargin measures the intersection of two rectangles by margin
+// (sum of intersection side lengths); high-dimensional volumes
+// underflow to zero and stop discriminating, margins do not.
+func overlapMargin(a, b mbr.Rect) float64 {
+	var m float64
+	for i := range a.Lo {
+		lo := math.Max(a.Lo[i], b.Lo[i])
+		hi := math.Min(a.Hi[i], b.Hi[i])
+		if hi > lo {
+			m += hi - lo
+		}
+	}
+	return m
+}
+
+// split performs the topological R* split of an overflown node and
+// returns the new sibling.
+func (t *DynamicTree) split(n *Node) *Node {
+	min := t.minOf(n)
+	if n.IsLeaf() {
+		left, right := splitEntries(len(n.Points), min,
+			func(i, j int, dim int) bool {
+				return n.Points[i][dim] < n.Points[j][dim]
+			},
+			func(order []int, cut int) (mbr.Rect, mbr.Rect) {
+				l := mbr.New(n.Points[order[0]])
+				for _, idx := range order[1:cut] {
+					l.Extend(n.Points[idx])
+				}
+				r := mbr.New(n.Points[order[cut]])
+				for _, idx := range order[cut+1:] {
+					r.Extend(n.Points[idx])
+				}
+				return l, r
+			},
+			t.Dim)
+		leftPts := make([][]float64, 0, len(left))
+		rightPts := make([][]float64, 0, len(right))
+		for _, i := range left {
+			leftPts = append(leftPts, n.Points[i])
+		}
+		for _, i := range right {
+			rightPts = append(rightPts, n.Points[i])
+		}
+		n.Points = leftPts
+		recomputeRect(n)
+		sib := &Node{Level: 1, Points: rightPts}
+		recomputeRect(sib)
+		return sib
+	}
+	left, right := splitEntries(len(n.Children), min,
+		func(i, j int, dim int) bool {
+			return n.Children[i].Rect.Lo[dim] < n.Children[j].Rect.Lo[dim]
+		},
+		func(order []int, cut int) (mbr.Rect, mbr.Rect) {
+			l := n.Children[order[0]].Rect.Clone()
+			for _, idx := range order[1:cut] {
+				l.ExtendRect(n.Children[idx].Rect)
+			}
+			r := n.Children[order[cut]].Rect.Clone()
+			for _, idx := range order[cut+1:] {
+				r.ExtendRect(n.Children[idx].Rect)
+			}
+			return l, r
+		},
+		t.Dim)
+	leftCh := make([]*Node, 0, len(left))
+	rightCh := make([]*Node, 0, len(right))
+	for _, i := range left {
+		leftCh = append(leftCh, n.Children[i])
+	}
+	for _, i := range right {
+		rightCh = append(rightCh, n.Children[i])
+	}
+	n.Children = leftCh
+	recomputeRect(n)
+	sib := &Node{Level: n.Level, Children: rightCh}
+	recomputeRect(sib)
+	return sib
+}
+
+// splitEntries chooses the R* split axis (minimum total margin over
+// all candidate distributions) and distribution (minimum overlap, ties
+// by minimum combined margin) over count entries, returning the entry
+// indices of the two groups. The full R* algorithm additionally
+// considers upper-bound sort orders for directory entries; this
+// implementation uses the lower-bound order only, a standard
+// simplification with negligible effect on point data.
+func splitEntries(count, min int,
+	lessFn func(i, j, dim int) bool,
+	rectsOf func(order []int, cut int) (mbr.Rect, mbr.Rect),
+	dim int) (left, right []int) {
+
+	bestAxis, bestAxisMargin := -1, math.Inf(1)
+	bestOrders := make(map[int][]int)
+	for d := 0; d < dim; d++ {
+		order := make([]int, count)
+		for i := range order {
+			order[i] = i
+		}
+		dd := d
+		sort.Slice(order, func(a, b int) bool { return lessFn(order[a], order[b], dd) })
+		var marginSum float64
+		for cut := min; cut <= count-min; cut++ {
+			l, r := rectsOf(order, cut)
+			marginSum += l.Margin() + r.Margin()
+		}
+		if marginSum < bestAxisMargin {
+			bestAxisMargin = marginSum
+			bestAxis = d
+		}
+		bestOrders[d] = order
+	}
+	order := bestOrders[bestAxis]
+	bestCut, bestOverlap, bestMargin := -1, math.Inf(1), math.Inf(1)
+	for cut := min; cut <= count-min; cut++ {
+		l, r := rectsOf(order, cut)
+		ov := overlapMargin(l, r)
+		mg := l.Margin() + r.Margin()
+		if ov < bestOverlap || (ov == bestOverlap && mg < bestMargin) {
+			bestCut, bestOverlap, bestMargin = cut, ov, mg
+		}
+	}
+	return order[:bestCut], order[bestCut:]
+}
+
+// AverageLeafOccupancy returns the mean points per leaf divided by the
+// maximum leaf capacity — the storage utilization the paper's problem
+// statement parameterizes predictions with.
+func (t *DynamicTree) AverageLeafOccupancy() float64 {
+	leaves := t.Leaves()
+	if len(leaves) == 0 {
+		return 0
+	}
+	total := 0
+	for _, l := range leaves {
+		total += len(l.Points)
+	}
+	return float64(total) / float64(len(leaves)) / float64(t.maxLeaf)
+}

@@ -1,0 +1,147 @@
+package rtree
+
+import (
+	"fmt"
+
+	"hdidx/internal/mbr"
+)
+
+// Node is one page of the index. Leaves (Level 1) hold points;
+// directory nodes hold children. Rect is the node's minimal bounding
+// rectangle.
+type Node struct {
+	Level    int
+	Rect     mbr.Rect
+	Children []*Node
+	Points   [][]float64
+	// PageID is the node's position in a breadth-first page numbering,
+	// used by the on-disk simulation to place pages.
+	PageID int
+}
+
+// IsLeaf reports whether the node is a data page.
+func (n *Node) IsLeaf() bool { return n.Level == 1 }
+
+// Tree is a VAMSplit R*-tree, either bulk-loaded (Build, BuildOnDisk)
+// or grown by dynamic insertion (NewDynamic, Insert).
+type Tree struct {
+	Root   *Node
+	Dim    int
+	Params BuildParams
+	// NumPoints is the number of data points stored.
+	NumPoints int
+
+	leaves []*Node // cached leaf list in build order
+	nodes  int
+	dirty  bool // caches stale after dynamic inserts
+}
+
+// Height returns the height of the tree (1 for a single leaf).
+func (t *Tree) Height() int {
+	if t.Root == nil {
+		return 0
+	}
+	return t.Root.Level
+}
+
+// NumLeaves returns the number of leaf pages.
+func (t *Tree) NumLeaves() int {
+	t.refresh()
+	return len(t.leaves)
+}
+
+// NumNodes returns the total number of pages (directory plus leaf).
+func (t *Tree) NumNodes() int {
+	t.refresh()
+	return t.nodes
+}
+
+// Leaves returns the leaf pages in build order. The slice is owned by
+// the tree.
+func (t *Tree) Leaves() []*Node {
+	t.refresh()
+	return t.leaves
+}
+
+func (t *Tree) refresh() {
+	if t.dirty {
+		if t.Root != nil {
+			finish(t)
+		} else {
+			t.leaves, t.nodes = nil, 0
+		}
+		t.dirty = false
+	}
+}
+
+// LeafRects returns copies of all leaf MBRs in build order.
+func (t *Tree) LeafRects() []mbr.Rect {
+	leaves := t.Leaves()
+	rects := make([]mbr.Rect, len(leaves))
+	for i, l := range leaves {
+		rects[i] = l.Rect.Clone()
+	}
+	return rects
+}
+
+// Walk visits every node in depth-first pre-order.
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		visit(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+}
+
+// Validate checks the structural invariants of the tree: level
+// numbering, MBR containment of points and children, leaf point
+// accounting, and page occupancy limits. It returns the first
+// violation found.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	total := 0
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if n.IsLeaf() {
+			if len(n.Points) == 0 {
+				return fmt.Errorf("rtree: empty leaf")
+			}
+			total += len(n.Points)
+			for _, p := range n.Points {
+				if !n.Rect.Contains(p) {
+					return fmt.Errorf("rtree: leaf MBR %v misses point %v", n.Rect, p)
+				}
+			}
+			return nil
+		}
+		if len(n.Children) == 0 {
+			return fmt.Errorf("rtree: directory node without children at level %d", n.Level)
+		}
+		for _, c := range n.Children {
+			if c.Level != n.Level-1 {
+				return fmt.Errorf("rtree: child level %d under level %d", c.Level, n.Level)
+			}
+			if !n.Rect.ContainsRect(c.Rect) {
+				return fmt.Errorf("rtree: parent MBR does not contain child MBR")
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.Root); err != nil {
+		return err
+	}
+	if total != t.NumPoints {
+		return fmt.Errorf("rtree: %d points in leaves, want %d", total, t.NumPoints)
+	}
+	return nil
+}

@@ -1,0 +1,479 @@
+// Package srtree implements a bulk-loaded SR-tree (Katayama & Satoh,
+// SIGMOD 1997): each page is bounded by the *intersection* of a
+// minimal bounding rectangle and a bounding sphere, which prunes
+// better than either alone in high dimensions. It is the last of the
+// Section 4.7 structures named in the paper ("the SS-tree, the
+// SR-tree, ...") and its sampling prediction composes the two
+// compensations already derived: Theorem 1 for the rectangle sides and
+// the ball factor for the sphere radius.
+package srtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdidx/internal/dataset"
+	"hdidx/internal/mbr"
+	"hdidx/internal/query"
+	"hdidx/internal/rtree"
+	"hdidx/internal/sstree"
+	"hdidx/internal/vec"
+)
+
+// Node is one SR-tree page: a rectangle and a sphere, both covering
+// the subtree.
+type Node struct {
+	Level    int
+	Rect     mbr.Rect
+	Centroid []float64
+	Radius   float64
+	Children []*Node
+	Points   [][]float64
+}
+
+// IsLeaf reports whether the node is a data page.
+func (n *Node) IsLeaf() bool { return n.Level == 1 }
+
+// MinDist returns the distance from q to the intersection region:
+// the maximum of the rectangle MINDIST and the sphere MINDIST (a point
+// must be inside both bounds, so the larger lower bound applies).
+func (n *Node) MinDist(q []float64) float64 {
+	r := n.Rect.MinDist(q)
+	s := vec.Dist(q, n.Centroid) - n.Radius
+	if s < 0 {
+		s = 0
+	}
+	return math.Max(r, s)
+}
+
+// IntersectsSphere reports whether the page region can contain a point
+// within the query ball.
+func (n *Node) IntersectsSphere(center []float64, radius float64) bool {
+	return n.MinDist(center) <= radius
+}
+
+// BuildParams mirrors the other substrates' parameterization.
+type BuildParams struct {
+	LeafCap float64
+	DirCap  float64
+	Height  int
+}
+
+// Scaled returns params with the leaf capacity scaled and the height
+// forced, for mini-index builds.
+func (p BuildParams) Scaled(zeta float64, fullHeight int) BuildParams {
+	s := p
+	s.LeafCap = p.LeafCap * zeta
+	s.Height = fullHeight
+	return s
+}
+
+// DeriveHeight returns the minimal height for n points.
+func (p BuildParams) DeriveHeight(n int) int {
+	h := 1
+	cap := p.LeafCap
+	for cap < float64(n) {
+		cap *= p.DirCap
+		h++
+	}
+	return h
+}
+
+func (p BuildParams) subtreeCap(level int) float64 {
+	cap := p.LeafCap
+	for l := 2; l <= level; l++ {
+		cap *= p.DirCap
+	}
+	return cap
+}
+
+// Tree is a bulk-loaded SR-tree.
+type Tree struct {
+	Root      *Node
+	Dim       int
+	NumPoints int
+	leaves    []*Node
+	nodes     int
+}
+
+// Height returns the tree height.
+func (t *Tree) Height() int {
+	if t.Root == nil {
+		return 0
+	}
+	return t.Root.Level
+}
+
+// NumLeaves returns the number of data pages.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// NumNodes returns the total page count.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// Leaves returns the leaf pages (owned by the tree).
+func (t *Tree) Leaves() []*Node { return t.leaves }
+
+// Build bulk-loads an SR-tree with the VAMSplit strategy shared by the
+// other substrates.
+func Build(pts [][]float64, params BuildParams) *Tree {
+	if len(pts) == 0 {
+		panic("srtree: Build on empty point set")
+	}
+	if params.LeafCap <= 0 || params.DirCap < 2 {
+		panic(fmt.Sprintf("srtree: invalid capacities %+v", params))
+	}
+	height := params.Height
+	if height <= 0 {
+		height = params.DeriveHeight(len(pts))
+	}
+	b := &builder{params: params}
+	root := b.buildLevel(pts, height)
+	t := &Tree{Root: root, Dim: len(pts[0]), NumPoints: len(pts)}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		t.nodes++
+		if n.IsLeaf() {
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return t
+}
+
+type builder struct {
+	params BuildParams
+}
+
+func (b *builder) buildLevel(pts [][]float64, level int) *Node {
+	if level == 1 {
+		return newLeaf(pts)
+	}
+	subcap := b.params.subtreeCap(level - 1)
+	k := int(math.Ceil(float64(len(pts)) / subcap))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	if maxFan := int(math.Ceil(b.params.DirCap)); k > maxFan {
+		k = maxFan
+	}
+	node := &Node{Level: level, Children: make([]*Node, 0, k)}
+	b.splitInto(pts, k, subcap, level-1, node)
+	node.bound()
+	return node
+}
+
+func (b *builder) splitInto(pts [][]float64, k int, subcap float64, childLevel int, parent *Node) {
+	if k == 1 {
+		parent.Children = append(parent.Children, b.buildLevel(pts, childLevel))
+		return
+	}
+	kl, cut := rtree.ChooseCut(len(pts), k, subcap)
+	if cut == 0 {
+		parent.Children = append(parent.Children, b.buildLevel(pts, childLevel))
+		return
+	}
+	dim := vec.MaxVarianceDim(pts)
+	left, right := vec.PartitionByDim(pts, dim, cut)
+	b.splitInto(left, kl, subcap, childLevel, parent)
+	b.splitInto(right, k-kl, subcap, childLevel, parent)
+}
+
+func newLeaf(pts [][]float64) *Node {
+	dim := len(pts[0])
+	c := make([]float64, dim)
+	vec.Mean(pts, c)
+	var r2 float64
+	for _, p := range pts {
+		if d := vec.SqDist(p, c); d > r2 {
+			r2 = d
+		}
+	}
+	return &Node{
+		Level:    1,
+		Rect:     mbr.Bound(pts),
+		Centroid: c,
+		Radius:   math.Sqrt(r2),
+		Points:   pts,
+	}
+}
+
+// bound sets a directory node's rectangle (union) and sphere (weighted
+// centroid, covering radius) from its children.
+func (n *Node) bound() {
+	n.Rect = n.Children[0].Rect.Clone()
+	for _, c := range n.Children[1:] {
+		n.Rect.ExtendRect(c.Rect)
+	}
+	dim := len(n.Children[0].Centroid)
+	n.Centroid = make([]float64, dim)
+	total := 0
+	for _, c := range n.Children {
+		w := c.weight()
+		total += w
+		for j, v := range c.Centroid {
+			n.Centroid[j] += v * float64(w)
+		}
+	}
+	for j := range n.Centroid {
+		n.Centroid[j] /= float64(total)
+	}
+	for _, c := range n.Children {
+		if r := vec.Dist(n.Centroid, c.Centroid) + c.Radius; r > n.Radius {
+			n.Radius = r
+		}
+	}
+}
+
+func (n *Node) weight() int {
+	if n.IsLeaf() {
+		return len(n.Points)
+	}
+	w := 0
+	for _, c := range n.Children {
+		w += c.weight()
+	}
+	return w
+}
+
+// Validate checks the dual containment invariants.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("srtree: nil root")
+	}
+	total := 0
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if n.IsLeaf() {
+			if len(n.Points) == 0 {
+				return fmt.Errorf("srtree: empty leaf")
+			}
+			total += len(n.Points)
+			for _, p := range n.Points {
+				if !n.Rect.Contains(p) {
+					return fmt.Errorf("srtree: point outside leaf rectangle")
+				}
+				if vec.Dist(p, n.Centroid) > n.Radius+1e-9 {
+					return fmt.Errorf("srtree: point outside leaf sphere")
+				}
+			}
+			return nil
+		}
+		for _, c := range n.Children {
+			if c.Level != n.Level-1 {
+				return fmt.Errorf("srtree: child level %d under %d", c.Level, n.Level)
+			}
+			if !n.Rect.ContainsRect(c.Rect) {
+				return fmt.Errorf("srtree: child rectangle escapes parent")
+			}
+			if vec.Dist(n.Centroid, c.Centroid)+c.Radius > n.Radius+1e-9 {
+				return fmt.Errorf("srtree: child sphere escapes parent")
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.Root); err != nil {
+		return err
+	}
+	if total != t.NumPoints {
+		return fmt.Errorf("srtree: %d points in leaves, want %d", total, t.NumPoints)
+	}
+	return nil
+}
+
+// Result reports the page accesses of one SR-tree search.
+type Result struct {
+	Radius       float64
+	LeafAccesses int
+	DirAccesses  int
+}
+
+// KNNSearch runs the best-first k-NN search using the combined
+// rectangle-and-sphere lower bound.
+func KNNSearch(t *Tree, q []float64, k int) Result {
+	if k <= 0 || k > t.NumPoints {
+		panic(fmt.Sprintf("srtree: k = %d outside [1, %d]", k, t.NumPoints))
+	}
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeEntry{node: t.Root, dist: t.Root.MinDist(q)})
+	kth := math.Inf(1)
+	var best []float64
+	res := Result{}
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(nodeEntry)
+		if e.dist > kth {
+			break
+		}
+		if e.node.IsLeaf() {
+			res.LeafAccesses++
+			for _, p := range e.node.Points {
+				d := vec.Dist(p, q)
+				best = insertBounded(best, d, k)
+				if len(best) == k {
+					kth = best[k-1]
+				}
+			}
+			continue
+		}
+		res.DirAccesses++
+		for _, c := range e.node.Children {
+			if d := c.MinDist(q); d <= kth {
+				heap.Push(pq, nodeEntry{node: c, dist: d})
+			}
+		}
+	}
+	res.Radius = kth
+	return res
+}
+
+func insertBounded(best []float64, d float64, k int) []float64 {
+	i := len(best)
+	for i > 0 && best[i-1] > d {
+		i--
+	}
+	if i >= k {
+		return best
+	}
+	if len(best) < k {
+		best = append(best, 0)
+	}
+	copy(best[i+1:], best[i:])
+	best[i] = d
+	return best
+}
+
+type nodeEntry struct {
+	node *Node
+	dist float64
+}
+
+type nodeHeap []nodeEntry
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Geometry describes the SR-tree page layout: directory entries hold a
+// rectangle, a centroid, a radius, and a reference — the SR-tree's
+// known cost of fatter directory entries.
+type Geometry struct {
+	Dim         int
+	PageBytes   int
+	Utilization float64
+}
+
+// NewGeometry returns the default 8 KB-page geometry.
+func NewGeometry(dim int) Geometry {
+	return Geometry{Dim: dim, PageBytes: 8192, Utilization: 0.95}
+}
+
+// EffDataCapacity returns the effective data page capacity.
+func (g Geometry) EffDataCapacity() int {
+	c := int(float64(g.PageBytes/(4*g.Dim)) * g.Utilization)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// EffDirCapacity returns the effective directory page capacity
+// (rect 2d + centroid d = 3d float32 values plus radius and ref).
+func (g Geometry) EffDirCapacity() int {
+	c := int(float64(g.PageBytes/(12*g.Dim+8)) * g.Utilization)
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// Params returns the full-index build parameters under g.
+func (g Geometry) Params() BuildParams {
+	return BuildParams{
+		LeafCap: float64(g.EffDataCapacity()),
+		DirCap:  float64(g.EffDirCapacity()),
+	}
+}
+
+// Prediction is the outcome of an SR-tree access prediction.
+type Prediction struct {
+	PerQuery []float64
+	Mean     float64
+	Leaves   []*Node
+}
+
+// Predict applies the basic sampling model to the SR-tree: the mini
+// index's leaf rectangles grow by the Theorem 1 side factor and its
+// leaf spheres by the ball factor — the two compensations compose
+// because the page region is their intersection.
+func Predict(data [][]float64, zeta float64, compensate bool, g Geometry, spheres []query.Sphere, rng *rand.Rand) (Prediction, error) {
+	if len(data) == 0 {
+		return Prediction{}, fmt.Errorf("srtree: empty dataset")
+	}
+	if zeta <= 0 || zeta > 1 {
+		return Prediction{}, fmt.Errorf("srtree: sample fraction %g outside (0, 1]", zeta)
+	}
+	capacity := float64(g.EffDataCapacity())
+	if zeta < 1/capacity {
+		return Prediction{}, fmt.Errorf("srtree: sample fraction %g below the 1/C limit %g", zeta, 1/capacity)
+	}
+	params := g.Params()
+	fullHeight := params.DeriveHeight(len(data))
+	m := int(float64(len(data))*zeta + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	sample := dataset.SampleExact(data, m, rng)
+	mini := Build(sample, params.Scaled(zeta, fullHeight))
+
+	rectGrow, sphereGrow := 1.0, 1.0
+	if compensate {
+		if capacity*zeta > 1+1e-9 && capacity > 1 && zeta < 1 {
+			rectGrow = mbr.CompensationSideFactor(capacity, zeta)
+		}
+		sphereGrow = sstree.SphereCompensationFactor(capacity, zeta, len(data[0]))
+	}
+	leaves := make([]*Node, mini.NumLeaves())
+	for i, l := range mini.Leaves() {
+		leaves[i] = &Node{
+			Level:    1,
+			Rect:     l.Rect.GrowCentered(rectGrow),
+			Centroid: l.Centroid,
+			Radius:   l.Radius * sphereGrow,
+		}
+	}
+	p := Prediction{Leaves: leaves, PerQuery: make([]float64, len(spheres))}
+	var sum float64
+	for i, s := range spheres {
+		n := 0
+		for _, l := range leaves {
+			if l.IntersectsSphere(s.Center, s.Radius) {
+				n++
+			}
+		}
+		p.PerQuery[i] = float64(n)
+		sum += float64(n)
+	}
+	if len(spheres) > 0 {
+		p.Mean = sum / float64(len(spheres))
+	}
+	return p, nil
+}

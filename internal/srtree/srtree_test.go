@@ -1,0 +1,193 @@
+package srtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdidx/internal/dataset"
+	"hdidx/internal/mbr"
+	"hdidx/internal/query"
+	"hdidx/internal/sstree"
+	"hdidx/internal/stats"
+)
+
+func clusteredPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	spec := dataset.Spec{Name: "c", N: n, Dim: dim, Clusters: 10, VarianceDecay: 0.9, ClusterStd: 0.1}
+	return spec.Generate(rng).Points
+}
+
+func TestBuildValidates(t *testing.T) {
+	pts := clusteredPoints(3000, 8, 1)
+	tr := Build(pts, BuildParams{LeafCap: 32, DirCap: 10})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPoints != 3000 {
+		t.Errorf("NumPoints = %d", tr.NumPoints)
+	}
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(nil, BuildParams{LeafCap: 10, DirCap: 4})
+}
+
+func TestMinDistIsMaxOfBounds(t *testing.T) {
+	n := &Node{
+		Rect:     mbr.FromCorners([]float64{0, 0}, []float64{1, 1}),
+		Centroid: []float64{0.5, 0.5},
+		Radius:   0.3, // tighter than the rectangle near the corners
+	}
+	// Query outside both: sphere bound dominates near the corner.
+	q := []float64{1.5, 1.5}
+	rectD := n.Rect.MinDist(q)
+	sphereD := math.Hypot(1.0, 1.0) - 0.3
+	got := n.MinDist(q)
+	if math.Abs(got-math.Max(rectD, sphereD)) > 1e-12 {
+		t.Errorf("MinDist = %v, want max(%v, %v)", got, rectD, sphereD)
+	}
+	if got <= rectD {
+		t.Error("sphere bound should dominate here")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	data := clusteredPoints(2000, 8, 2)
+	tr := Build(data, BuildParams{LeafCap: 32, DirCap: 10})
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		q := data[rng.Intn(len(data))]
+		for _, k := range []int{1, 5, 21} {
+			want := query.KNNBruteRadius(data, q, k)
+			got := KNNSearch(tr, q, k)
+			if math.Abs(got.Radius-want) > 1e-9 {
+				t.Fatalf("k=%d: radius %v, want %v", k, got.Radius, want)
+			}
+		}
+	}
+}
+
+func TestSRTreePrunesAtLeastAsWellAsSSTree(t *testing.T) {
+	// The SR-tree's combined bound dominates the sphere-only bound, so
+	// with the same page partitioning it must access no more leaves.
+	data := clusteredPoints(10000, 16, 4)
+	params := BuildParams{LeafCap: 32, DirCap: 10}
+	cp1 := make([][]float64, len(data))
+	copy(cp1, data)
+	sr := Build(cp1, params)
+	cp2 := make([][]float64, len(data))
+	copy(cp2, data)
+	ss := sstree.Build(cp2, sstree.BuildParams{LeafCap: 32, DirCap: 10})
+
+	rng := rand.New(rand.NewSource(5))
+	var srAcc, ssAcc int
+	for trial := 0; trial < 30; trial++ {
+		q := data[rng.Intn(len(data))]
+		srAcc += KNNSearch(sr, q, 21).LeafAccesses
+		ssAcc += sstree.KNNSearch(ss, q, 21).LeafAccesses
+	}
+	if srAcc > ssAcc {
+		t.Errorf("SR-tree accessed %d leaves, SS-tree %d — combined bound should prune at least as well",
+			srAcc, ssAcc)
+	}
+}
+
+func TestKNNProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(400)
+		dim := 1 + r.Intn(8)
+		data := dataset.GenerateUniform("u", n, dim, r).Points
+		tr := Build(data, BuildParams{
+			LeafCap: 2 + r.Float64()*30,
+			DirCap:  2 + float64(r.Intn(14)),
+		})
+		if tr.Validate() != nil {
+			return false
+		}
+		k := 1 + r.Intn(10)
+		q := make([]float64, dim)
+		for i := range q {
+			q[i] = r.Float64()
+		}
+		want := query.KNNBruteRadius(data, q, k)
+		return math.Abs(KNNSearch(tr, q, k).Radius-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictAccuracy(t *testing.T) {
+	data := clusteredPoints(15000, 16, 6)
+	g := NewGeometry(16)
+	rng := rand.New(rand.NewSource(7))
+	queryPoints := make([][]float64, 60)
+	for i := range queryPoints {
+		queryPoints[i] = data[rng.Intn(len(data))]
+	}
+	spheres := query.ComputeSpheres(data, queryPoints, 21)
+
+	cp := make([][]float64, len(data))
+	copy(cp, data)
+	tree := Build(cp, g.Params())
+	var measured float64
+	for _, s := range spheres {
+		n := 0
+		for _, l := range tree.Leaves() {
+			if l.IntersectsSphere(s.Center, s.Radius) {
+				n++
+			}
+		}
+		measured += float64(n)
+	}
+	measured /= float64(len(spheres))
+
+	p, err := Predict(data, 0.2, true, g, spheres, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := stats.RelativeError(p.Mean, measured)
+	if math.Abs(re) > 0.30 {
+		t.Errorf("SR-tree prediction error %+.2f (pred %.1f, meas %.1f)", re, p.Mean, measured)
+	}
+}
+
+func TestPredictRejectsBadFraction(t *testing.T) {
+	data := clusteredPoints(100, 4, 9)
+	g := NewGeometry(4)
+	for _, z := range []float64{0, -1, 1.5, 1e-6} {
+		if _, err := Predict(data, z, true, g, nil, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("zeta=%v: expected error", z)
+		}
+	}
+}
+
+func TestGeometryDirEntriesFatter(t *testing.T) {
+	// The SR-tree's known trade-off: directory entries carry rect +
+	// sphere, so its fanout is below the R-tree's.
+	g := NewGeometry(60)
+	if g.EffDirCapacity() >= 15 {
+		t.Errorf("SR dir capacity = %d, should be below the R*-tree's 15", g.EffDirCapacity())
+	}
+	if g.EffDataCapacity() != 32 {
+		t.Errorf("data capacity = %d, want 32", g.EffDataCapacity())
+	}
+}
+
+func BenchmarkSRTreeKNN(b *testing.B) {
+	data := clusteredPoints(20000, 16, 10)
+	tr := Build(data, NewGeometry(16).Params())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KNNSearch(tr, data[i%len(data)], 21)
+	}
+}

@@ -1,0 +1,146 @@
+package sstree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdidx/internal/dataset"
+	"hdidx/internal/query"
+)
+
+// Sampling-based prediction for the SS-tree, instantiating the paper's
+// Section 4.7 claim: the technique carries over to any index with
+// fixed-capacity pages by reusing that index's bulk loader on a sample
+// and compensating the page geometry for sampling shrinkage. For
+// spheres the compensation differs from Theorem 1 — see
+// SphereCompensationFactor.
+
+// Geometry describes the SS-tree page layout: points as float32
+// coordinates; directory entries hold a centroid, a radius, and a
+// child reference.
+type Geometry struct {
+	Dim         int
+	PageBytes   int
+	Utilization float64
+}
+
+// NewGeometry returns the default 8 KB-page geometry.
+func NewGeometry(dim int) Geometry {
+	return Geometry{Dim: dim, PageBytes: 8192, Utilization: 0.95}
+}
+
+// EffDataCapacity returns the effective data page capacity.
+func (g Geometry) EffDataCapacity() int {
+	c := int(float64(g.PageBytes/(4*g.Dim)) * g.Utilization)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// EffDirCapacity returns the effective directory page capacity
+// (centroid + radius + reference per entry).
+func (g Geometry) EffDirCapacity() int {
+	c := int(float64(g.PageBytes/(4*g.Dim+8)) * g.Utilization)
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// Params returns the full-index build parameters under g.
+func (g Geometry) Params() BuildParams {
+	return BuildParams{
+		LeafCap: float64(g.EffDataCapacity()),
+		DirCap:  float64(g.EffDirCapacity()),
+	}
+}
+
+// Prediction is the outcome of an SS-tree access prediction.
+type Prediction struct {
+	PerQuery []float64
+	Mean     float64
+	// LeafSpheres is the predicted leaf page layout.
+	LeafSpheres []*Node
+}
+
+// Predict applies the basic sampling model to the SS-tree: build a
+// structurally similar mini SS-tree on a zeta-fraction sample with the
+// leaf capacity scaled by zeta, grow each leaf sphere's radius by the
+// sphere compensation factor, and count query-sphere intersections.
+func Predict(data [][]float64, zeta float64, compensate bool, g Geometry, spheres []query.Sphere, rng *rand.Rand) (Prediction, error) {
+	if len(data) == 0 {
+		return Prediction{}, fmt.Errorf("sstree: empty dataset")
+	}
+	if zeta <= 0 || zeta > 1 {
+		return Prediction{}, fmt.Errorf("sstree: sample fraction %g outside (0, 1]", zeta)
+	}
+	capacity := float64(g.EffDataCapacity())
+	if zeta < 1/capacity {
+		return Prediction{}, fmt.Errorf("sstree: sample fraction %g below the 1/C limit %g", zeta, 1/capacity)
+	}
+	params := g.Params()
+	fullHeight := params.DeriveHeight(len(data))
+	m := int(float64(len(data))*zeta + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	sample := dataset.SampleExact(data, m, rng)
+	mini := Build(sample, params.Scaled(zeta, fullHeight))
+
+	grow := 1.0
+	if compensate {
+		grow = SphereCompensationFactor(capacity, zeta, len(data[0]))
+	}
+	leaves := make([]*Node, mini.NumLeaves())
+	for i, l := range mini.Leaves() {
+		leaves[i] = &Node{Level: 1, Centroid: l.Centroid, Radius: l.Radius * grow}
+	}
+	p := Prediction{LeafSpheres: leaves, PerQuery: make([]float64, len(spheres))}
+	var sum float64
+	for i, s := range spheres {
+		n := 0
+		for _, l := range leaves {
+			if l.IntersectsSphere(s.Center, s.Radius) {
+				n++
+			}
+		}
+		p.PerQuery[i] = float64(n)
+		sum += float64(n)
+	}
+	if len(spheres) > 0 {
+		p.Mean = sum / float64(len(spheres))
+	}
+	return p, nil
+}
+
+// SphereCompensationFactor is the sphere analogue of Theorem 1: for C
+// points distributed uniformly in a d-dimensional ball of radius R,
+// the distance of a point from the center has CDF (r/R)^d, so the
+// expected radius of the minimal bounding sphere of n such points
+// (centered at the true center) is
+//
+//	E[max_i r_i] = R * n*d / (n*d + 1).
+//
+// Reducing the page occupancy from C to C*zeta therefore shrinks the
+// expected leaf sphere radius by (C*zeta*d/(C*zeta*d+1)) /
+// (C*d/(C*d+1)); the compensation factor is the reciprocal:
+//
+//	factor = (C*d/(C*d+1)) * ((C*zeta*d + 1)/(C*zeta*d)).
+//
+// Like Theorem 1 it is exact only under within-page uniformity, and it
+// approaches 1 as zeta -> 1. In high dimensions n*d is large and the
+// factor is close to 1 — bounding spheres shrink far less under
+// sampling than bounding boxes, because the max of n draws from a
+// sharply concentrated distance distribution is stable.
+func SphereCompensationFactor(capacity, zeta float64, d int) float64 {
+	if capacity <= 1 || zeta <= 0 || zeta > 1 || d < 1 {
+		return 1
+	}
+	cd := capacity * float64(d)
+	czd := capacity * zeta * float64(d)
+	if czd <= 0 {
+		return 1
+	}
+	return (cd / (cd + 1)) * ((czd + 1) / czd)
+}

@@ -1,0 +1,270 @@
+// Package sstree implements a bulk-loaded SS-tree (White & Jain, ICDE
+// 1996): an index that organizes points in bounding *spheres* instead
+// of rectangles. It exists to demonstrate the paper's Section 4.7
+// claim that the sampling prediction technique applies to every index
+// structure organizing data in fixed-capacity pages: the same VAMSplit
+// bulk loader drives it, and Predict applies the basic sampling model
+// with a sphere-specific compensation factor (see compensation.go).
+package sstree
+
+import (
+	"fmt"
+	"math"
+
+	"hdidx/internal/rtree"
+	"hdidx/internal/vec"
+)
+
+// Node is one SS-tree page: a bounding sphere over its points (leaf)
+// or children (directory node).
+type Node struct {
+	Level    int
+	Centroid []float64
+	Radius   float64
+	Children []*Node
+	Points   [][]float64
+}
+
+// IsLeaf reports whether the node is a data page.
+func (n *Node) IsLeaf() bool { return n.Level == 1 }
+
+// MinDist returns the distance from q to the nearest point of the
+// node's bounding sphere (zero inside).
+func (n *Node) MinDist(q []float64) float64 {
+	d := vec.Dist(q, n.Centroid) - n.Radius
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// IntersectsSphere reports whether the node's bounding sphere shares a
+// point with the ball of the given radius around center.
+func (n *Node) IntersectsSphere(center []float64, radius float64) bool {
+	return vec.Dist(center, n.Centroid) <= radius+n.Radius
+}
+
+// BuildParams parameterizes the bulk loader; capacities are float64 so
+// mini-index builds can scale them by a sampling fraction, exactly as
+// for the R*-tree.
+type BuildParams struct {
+	LeafCap float64
+	DirCap  float64
+	Height  int
+}
+
+// Scaled returns params with the leaf capacity scaled by zeta and the
+// height forced, mirroring rtree.BuildParams.Scaled.
+func (p BuildParams) Scaled(zeta float64, fullHeight int) BuildParams {
+	s := p
+	s.LeafCap = p.LeafCap * zeta
+	s.Height = fullHeight
+	return s
+}
+
+// DeriveHeight returns the minimal height for n points.
+func (p BuildParams) DeriveHeight(n int) int {
+	h := 1
+	cap := p.LeafCap
+	for cap < float64(n) {
+		cap *= p.DirCap
+		h++
+	}
+	return h
+}
+
+func (p BuildParams) subtreeCap(level int) float64 {
+	cap := p.LeafCap
+	for l := 2; l <= level; l++ {
+		cap *= p.DirCap
+	}
+	return cap
+}
+
+// Tree is a bulk-loaded SS-tree.
+type Tree struct {
+	Root      *Node
+	Dim       int
+	Params    BuildParams
+	NumPoints int
+	leaves    []*Node
+	nodes     int
+}
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int {
+	if t.Root == nil {
+		return 0
+	}
+	return t.Root.Level
+}
+
+// NumLeaves returns the number of data pages.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// NumNodes returns the total page count.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// Leaves returns the leaf pages in build order (owned by the tree).
+func (t *Tree) Leaves() []*Node { return t.leaves }
+
+// Build bulk-loads an SS-tree over pts with the VAMSplit strategy.
+func Build(pts [][]float64, params BuildParams) *Tree {
+	if len(pts) == 0 {
+		panic("sstree: Build on empty point set")
+	}
+	if params.LeafCap <= 0 || params.DirCap < 2 {
+		panic(fmt.Sprintf("sstree: invalid capacities %+v", params))
+	}
+	height := params.Height
+	if height <= 0 {
+		height = params.DeriveHeight(len(pts))
+	}
+	b := &builder{params: params}
+	root := b.buildLevel(pts, height)
+	t := &Tree{Root: root, Dim: len(pts[0]), Params: params, NumPoints: len(pts)}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		t.nodes++
+		if n.IsLeaf() {
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return t
+}
+
+type builder struct {
+	params BuildParams
+}
+
+func (b *builder) buildLevel(pts [][]float64, level int) *Node {
+	if level == 1 {
+		return newLeaf(pts)
+	}
+	subcap := b.params.subtreeCap(level - 1)
+	k := int(math.Ceil(float64(len(pts)) / subcap))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	if maxFan := int(math.Ceil(b.params.DirCap)); k > maxFan {
+		k = maxFan
+	}
+	node := &Node{Level: level, Children: make([]*Node, 0, k)}
+	b.splitInto(pts, k, subcap, level-1, node)
+	node.bound()
+	return node
+}
+
+func (b *builder) splitInto(pts [][]float64, k int, subcap float64, childLevel int, parent *Node) {
+	if k == 1 {
+		parent.Children = append(parent.Children, b.buildLevel(pts, childLevel))
+		return
+	}
+	kl, cut := rtree.ChooseCut(len(pts), k, subcap)
+	if cut == 0 {
+		parent.Children = append(parent.Children, b.buildLevel(pts, childLevel))
+		return
+	}
+	dim := vec.MaxVarianceDim(pts)
+	left, right := vec.PartitionByDim(pts, dim, cut)
+	b.splitInto(left, kl, subcap, childLevel, parent)
+	b.splitInto(right, k-kl, subcap, childLevel, parent)
+}
+
+// newLeaf bounds pts with a sphere centered at their centroid.
+func newLeaf(pts [][]float64) *Node {
+	dim := len(pts[0])
+	c := make([]float64, dim)
+	vec.Mean(pts, c)
+	var r float64
+	for _, p := range pts {
+		if d := vec.SqDist(p, c); d > r {
+			r = d
+		}
+	}
+	return &Node{Level: 1, Centroid: c, Radius: math.Sqrt(r), Points: pts}
+}
+
+// bound sets a directory node's sphere: centroid at the point-count
+// weighted mean of child centroids, radius covering every child sphere.
+func (n *Node) bound() {
+	dim := len(n.Children[0].Centroid)
+	n.Centroid = make([]float64, dim)
+	total := 0
+	for _, c := range n.Children {
+		w := c.weight()
+		total += w
+		for j, v := range c.Centroid {
+			n.Centroid[j] += v * float64(w)
+		}
+	}
+	for j := range n.Centroid {
+		n.Centroid[j] /= float64(total)
+	}
+	for _, c := range n.Children {
+		if r := vec.Dist(n.Centroid, c.Centroid) + c.Radius; r > n.Radius {
+			n.Radius = r
+		}
+	}
+}
+
+func (n *Node) weight() int {
+	if n.IsLeaf() {
+		return len(n.Points)
+	}
+	w := 0
+	for _, c := range n.Children {
+		w += c.weight()
+	}
+	return w
+}
+
+// Validate checks the containment invariants of the tree.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("sstree: nil root")
+	}
+	total := 0
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if n.IsLeaf() {
+			if len(n.Points) == 0 {
+				return fmt.Errorf("sstree: empty leaf")
+			}
+			total += len(n.Points)
+			for _, p := range n.Points {
+				if vec.Dist(p, n.Centroid) > n.Radius+1e-9 {
+					return fmt.Errorf("sstree: point outside leaf sphere")
+				}
+			}
+			return nil
+		}
+		for _, c := range n.Children {
+			if c.Level != n.Level-1 {
+				return fmt.Errorf("sstree: child level %d under %d", c.Level, n.Level)
+			}
+			if vec.Dist(n.Centroid, c.Centroid)+c.Radius > n.Radius+1e-9 {
+				return fmt.Errorf("sstree: child sphere escapes parent")
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.Root); err != nil {
+		return err
+	}
+	if total != t.NumPoints {
+		return fmt.Errorf("sstree: %d points in leaves, want %d", total, t.NumPoints)
+	}
+	return nil
+}

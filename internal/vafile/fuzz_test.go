@@ -1,0 +1,39 @@
+package vafile
+
+import (
+	"math"
+	"testing"
+
+	"hdidx/internal/query"
+)
+
+// FuzzVAFileExactness builds a VA-file over fuzzer-chosen 2-d points
+// and verifies the search remains exact — the bounds machinery must
+// never prune a true neighbor regardless of coordinate distribution
+// (duplicates, constants, adversarial quantile collapse).
+func FuzzVAFileExactness(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80}, uint8(3), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 255, 255}, uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, bitsRaw uint8) {
+		if len(raw) < 4 {
+			return
+		}
+		n := len(raw) / 2
+		pts := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			pts[i] = []float64{float64(raw[2*i]), float64(raw[2*i+1])}
+		}
+		bits := 1 + int(bitsRaw)%8
+		v, err := Build(pts, bits, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + int(kRaw)%n
+		q := pts[int(kRaw)%n]
+		want := query.KNNBruteRadius(pts, q, k)
+		got := v.KNNSearch(q, k)
+		if math.Abs(got.Radius-want) > 1e-9 {
+			t.Fatalf("radius %v, want %v (n=%d k=%d bits=%d)", got.Radius, want, n, k, bits)
+		}
+	})
+}

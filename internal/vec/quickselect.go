@@ -1,0 +1,71 @@
+package vec
+
+// This file implements Hoare's "find" algorithm (quickselect) over point
+// sets, partitioning by a single coordinate. The paper's bulk loader
+// (Section 4.1) partitions the data with Hoare's find [17]; the same
+// routine drives the in-memory mini-index builds and, chunk by chunk,
+// the simulated on-disk build.
+
+// SelectByDim partially sorts pts in place so that pts[k] holds the
+// element with the k-th smallest coordinate in dimension dim, every
+// element of pts[:k] has a coordinate <= pts[k][dim], and every element
+// of pts[k+1:] has a coordinate >= pts[k][dim].
+//
+// It panics if k is out of range.
+func SelectByDim(pts [][]float64, dim, k int) {
+	if k < 0 || k >= len(pts) {
+		panic("vec: SelectByDim index out of range")
+	}
+	lo, hi := 0, len(pts)-1
+	for lo < hi {
+		// Median-of-three pivot to defeat sorted/reverse-sorted inputs.
+		mid := lo + (hi-lo)/2
+		p := medianOfThree(pts, dim, lo, mid, hi)
+		i, j := lo, hi
+		for i <= j {
+			for pts[i][dim] < p {
+				i++
+			}
+			for pts[j][dim] > p {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				i++
+				j--
+			}
+		}
+		// Invariant: lo..j <= p, i..hi >= p, j < i.
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+func medianOfThree(pts [][]float64, dim, a, b, c int) float64 {
+	x, y, z := pts[a][dim], pts[b][dim], pts[c][dim]
+	switch {
+	case (x <= y && y <= z) || (z <= y && y <= x):
+		return y
+	case (y <= x && x <= z) || (z <= x && x <= y):
+		return x
+	default:
+		return z
+	}
+}
+
+// PartitionByDim rearranges pts so that the first k points are the k
+// smallest by coordinate dim (in arbitrary internal order) and returns
+// the two halves. k must satisfy 0 < k < len(pts).
+func PartitionByDim(pts [][]float64, dim, k int) (left, right [][]float64) {
+	if k <= 0 || k >= len(pts) {
+		panic("vec: PartitionByDim split index out of range")
+	}
+	SelectByDim(pts, dim, k-1)
+	return pts[:k], pts[k:]
+}
