@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"hdidx/internal/experiments"
+	"hdidx/internal/obs"
 )
 
 func main() {
@@ -28,9 +29,13 @@ func main() {
 		k       = flag.Int("k", 0, "k of k-NN (default 21)")
 		m       = flag.Int("m", 0, "memory in points (default 10000*scale)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		trace   = flag.Bool("trace", false, "collect per-phase traces and print them after the runs")
 	)
 	flag.Parse()
 	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed}
+	if *trace {
+		obs.Default.SetEnabled(true)
+	}
 
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
@@ -42,6 +47,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if *trace {
+		fmt.Println("=== phase traces ===")
+		obs.Default.WriteText(os.Stdout)
 	}
 }
 

@@ -30,6 +30,7 @@ func main() {
 		radius    = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		measure   = flag.Bool("measure", false, "also build the full index in memory and measure the workload")
+		trace     = flag.Bool("trace", false, "print the per-phase cost breakdown of the prediction")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -67,6 +68,10 @@ func main() {
 			est.HUpper, est.SigmaUpper, est.SigmaLower)
 	}
 	fmt.Printf("prediction I/O cost:  %.3f s (simulated disk)\n", est.PredictionIOSeconds)
+	if *trace {
+		fmt.Println()
+		fmt.Print(est.PhaseReport())
+	}
 
 	if *measure {
 		var measured float64

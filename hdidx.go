@@ -20,15 +20,24 @@
 package hdidx
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hdidx/internal/core"
 	"hdidx/internal/disk"
+	"hdidx/internal/obs"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
 	"hdidx/internal/stats"
 )
+
+// ErrFlatTree reports that the modeled index is too flat for the
+// restricted-memory methods (MethodCutoff, MethodResampled): no
+// upper/lower split exists for the page geometry and memory size.
+// MethodBasic covers these configurations. Test with errors.Is.
+var ErrFlatTree = core.ErrFlatTree
 
 // Option configures Build and NewPredictor.
 type Option func(*config)
@@ -38,21 +47,49 @@ type config struct {
 	utilization float64
 }
 
-func newConfig(opts []Option) config {
+func newConfig(opts []Option) (config, error) {
 	c := config{pageBytes: 8192, utilization: rtree.DefaultUtilization}
 	for _, o := range opts {
 		o(&c)
 	}
-	return c
+	if c.pageBytes <= 0 {
+		return config{}, fmt.Errorf("hdidx: page size must be positive, got %d bytes", c.pageBytes)
+	}
+	if c.utilization <= 0 || c.utilization > 1 {
+		return config{}, fmt.Errorf("hdidx: utilization %g outside (0, 1]", c.utilization)
+	}
+	return c, nil
+}
+
+// validatePoints checks the dataset at the API boundary: it must be
+// non-empty and rectangular (every point of the same positive
+// dimension). Returning an error here replaces panics that used to
+// surface deep inside the disk and rtree layers.
+func validatePoints(points [][]float64) (dim int, err error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("hdidx: no points")
+	}
+	dim = len(points[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("hdidx: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return 0, fmt.Errorf("hdidx: ragged input: point %d has dimension %d, point 0 has %d", i, len(p), dim)
+		}
+	}
+	return dim, nil
 }
 
 // WithPageBytes sets the index page size in bytes (default 8192).
+// Non-positive values are rejected by Build and NewPredictor.
 func WithPageBytes(b int) Option {
 	return func(c *config) { c.pageBytes = b }
 }
 
 // WithUtilization sets the effective page utilization in (0, 1]
-// achieved by the bulk loader (default 0.95).
+// achieved by the bulk loader (default 0.95). Values outside (0, 1]
+// are rejected by Build and NewPredictor.
 func WithUtilization(u float64) Option {
 	return func(c *config) { c.utilization = u }
 }
@@ -70,14 +107,18 @@ type Index struct {
 // Build bulk-loads an index over points. The input slice is not
 // modified; point contents are shared, not copied.
 func Build(points [][]float64, opts ...Option) (*Index, error) {
-	if len(points) == 0 {
-		return nil, fmt.Errorf("hdidx: no points")
+	dim, err := validatePoints(points)
+	if err != nil {
+		return nil, err
 	}
-	c := newConfig(opts)
-	g := c.geometry(len(points[0]))
+	c, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	g := c.geometry(dim)
 	cp := make([][]float64, len(points))
 	copy(cp, points)
-	tree := rtree.Build(cp, rtree.ParamsForGeometry(g))
+	tree := rtree.BuildTraced(cp, rtree.ParamsForGeometry(g), obs.TraceIfEnabled("hdidx.build", nil))
 	return &Index{tree: tree, g: g}, nil
 }
 
@@ -158,14 +199,28 @@ type Predictor struct {
 // NewPredictor prepares a predictor over points, which are the dataset
 // the hypothetical index would be built on.
 func NewPredictor(points [][]float64, opts ...Option) (*Predictor, error) {
-	if len(points) == 0 {
-		return nil, fmt.Errorf("hdidx: no points")
+	dim, err := validatePoints(points)
+	if err != nil {
+		return nil, err
 	}
-	c := newConfig(opts)
-	return &Predictor{points: points, g: c.geometry(len(points[0]))}, nil
+	c, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{points: points, g: c.geometry(dim)}, nil
 }
 
+// DefaultSeed is the seed selected when EstimateOptions.Seed is
+// negative — the historical default of this package.
+const DefaultSeed int64 = 1
+
 // EstimateOptions parameterizes an estimate.
+//
+// Determinism contract: the same dataset, method, and options
+// (including Seed) produce an identical Estimate — same PerQuery
+// values, same I/O counters — on every run; only the wall-clock
+// durations in Phases vary. Distinct seeds draw distinct query
+// workloads and samples.
 type EstimateOptions struct {
 	// K is the k of the k-NN workload (default 21, the paper's).
 	K int
@@ -178,11 +233,25 @@ type EstimateOptions struct {
 	// SampleFraction is the sample size for MethodBasic (default the
 	// memory fraction, floored at the 1/C limit).
 	SampleFraction float64
-	// Seed drives sampling and query selection (default 1).
+	// Seed drives sampling and query selection. Every seed >= 0 is
+	// used verbatim — the zero value runs with seed 0 — and negative
+	// values select DefaultSeed.
 	Seed int64
 }
 
-func (o EstimateOptions) withDefaults(n int) EstimateOptions {
+func (o EstimateOptions) withDefaults() (EstimateOptions, error) {
+	if o.K < 0 {
+		return o, fmt.Errorf("hdidx: negative k %d", o.K)
+	}
+	if o.Queries < 0 {
+		return o, fmt.Errorf("hdidx: negative query count %d", o.Queries)
+	}
+	if o.Memory < 0 {
+		return o, fmt.Errorf("hdidx: negative memory size %d", o.Memory)
+	}
+	if o.SampleFraction < 0 || o.SampleFraction > 1 {
+		return o, fmt.Errorf("hdidx: sample fraction %g outside [0, 1]", o.SampleFraction)
+	}
 	if o.K == 0 {
 		o.K = 21
 	}
@@ -192,10 +261,33 @@ func (o EstimateOptions) withDefaults(n int) EstimateOptions {
 	if o.Memory == 0 {
 		o.Memory = 10000
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
+	if o.Seed < 0 {
+		o.Seed = DefaultSeed
 	}
-	return o
+	return o, nil
+}
+
+// Phase is one stage of the prediction pipeline with its observed
+// cost: wall-clock time plus the simulated-disk activity attributed to
+// it. The phases of one Estimate do not overlap and cover every disk
+// access of the prediction, so their IOSeconds sum to
+// PredictionIOSeconds.
+type Phase struct {
+	// Name identifies the stage (e.g. "sample.scan", "upper.build";
+	// see the -trace output of cmd/idxpredict for the full set).
+	Name string
+	// Count is the number of spans folded into the phase (chunked
+	// stages record one span per chunk).
+	Count int
+	// Wall is the wall-clock time spent in the phase.
+	Wall time.Duration
+	// Seeks and Transfers are the simulated-disk activity of the
+	// phase.
+	Seeks     int64
+	Transfers int64
+	// IOSeconds prices the phase's disk activity under the same disk
+	// parameters as PredictionIOSeconds.
+	IOSeconds float64
 }
 
 // Estimate is the outcome of a prediction.
@@ -210,6 +302,10 @@ type Estimate struct {
 	// PredictionIOSeconds prices the I/O the prediction itself needed
 	// on the simulated disk (zero for MethodBasic).
 	PredictionIOSeconds float64
+	// Phases is the per-stage breakdown of the prediction's cost:
+	// where the wall-clock time went and which stages paid the I/O.
+	// The IOSeconds of the phases sum to PredictionIOSeconds.
+	Phases []Phase
 	// HUpper, SigmaUpper, SigmaLower document the restricted-memory
 	// parameters used.
 	HUpper     int
@@ -217,10 +313,28 @@ type Estimate struct {
 	SigmaLower float64
 }
 
+// PhaseReport renders the per-phase cost breakdown as an aligned text
+// table (the same layout the -trace CLI flags print).
+func (e Estimate) PhaseReport() string {
+	var b []byte
+	b = append(b, fmt.Sprintf("%-16s %6s %12s %8s %10s %9s\n",
+		"phase", "calls", "wall", "seeks", "transfers", "io(s)")...)
+	for _, ph := range e.Phases {
+		b = append(b, fmt.Sprintf("%-16s %6d %12s %8d %10d %9.3f\n",
+			ph.Name, ph.Count, ph.Wall.Round(time.Microsecond), ph.Seeks, ph.Transfers, ph.IOSeconds)...)
+	}
+	b = append(b, fmt.Sprintf("%-16s %6s %12s %8s %10s %9.3f\n",
+		"total", "", "", "", "", e.PredictionIOSeconds)...)
+	return string(b)
+}
+
 // EstimateKNN predicts the average number of leaf pages a density-
 // biased k-NN workload accesses on the index this predictor models.
 func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, error) {
-	o := opts.withDefaults(len(p.points))
+	o, err := opts.withDefaults()
+	if err != nil {
+		return Estimate{}, err
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	k := o.K
 	if k > len(p.points) {
@@ -238,12 +352,13 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 				zeta = 1
 			}
 		}
+		tr := newEstimateTrace(MethodBasic, nil)
 		queryPoints := make([][]float64, o.Queries)
 		for i := range queryPoints {
 			queryPoints[i] = p.points[rng.Intn(len(p.points))]
 		}
-		spheres := query.ComputeSpheres(p.points, queryPoints, k)
-		pr, err := core.PredictBasic(p.points, zeta, true, p.g, spheres, rng)
+		spheres := query.ComputeSpheresTraced(p.points, queryPoints, k, tr)
+		pr, err := core.PredictBasicTraced(p.points, zeta, true, p.g, spheres, rng, tr)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -266,9 +381,9 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 		K:            k,
 		QueryIndices: indices,
 		Rng:          rng,
+		Trace:        newEstimateTrace(method, d),
 	}
 	var pr core.Prediction
-	var err error
 	switch method {
 	case MethodResampled:
 		pr, err = core.PredictResampled(pf, cfg)
@@ -283,12 +398,35 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 	return estimateOf(method, pr), nil
 }
 
+// newEstimateTrace builds the always-on trace behind Estimate.Phases
+// and registers it with the default observability registry when that
+// is collecting (the CLIs' -trace flag).
+func newEstimateTrace(m Method, d *disk.Disk) *obs.Trace {
+	tr := obs.New("hdidx."+string(m), d)
+	if obs.Default.Enabled() {
+		obs.Default.Add(tr)
+	}
+	return tr
+}
+
 func estimateOf(m Method, pr core.Prediction) Estimate {
+	phases := make([]Phase, len(pr.Phases))
+	for i, ph := range pr.Phases {
+		phases[i] = Phase{
+			Name:      ph.Name,
+			Count:     ph.Count,
+			Wall:      ph.Wall,
+			Seeks:     ph.IO.Seeks,
+			Transfers: ph.IO.Transfers,
+			IOSeconds: ph.IOSeconds,
+		}
+	}
 	return Estimate{
 		Method:              m,
 		MeanAccesses:        pr.Mean,
 		PerQuery:            pr.PerQuery,
 		PredictionIOSeconds: pr.IOSeconds,
+		Phases:              phases,
 		HUpper:              pr.HUpper,
 		SigmaUpper:          pr.SigmaUpper,
 		SigmaLower:          pr.SigmaLower,
@@ -303,7 +441,10 @@ func (p *Predictor) EstimateRange(method Method, radius float64, opts EstimateOp
 	if radius <= 0 {
 		return Estimate{}, fmt.Errorf("hdidx: range radius must be positive")
 	}
-	o := opts.withDefaults(len(p.points))
+	o, err := opts.withDefaults()
+	if err != nil {
+		return Estimate{}, err
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 
 	if method == MethodBasic {
@@ -321,7 +462,7 @@ func (p *Predictor) EstimateRange(method Method, radius float64, opts EstimateOp
 		for i := range spheres {
 			spheres[i] = query.Sphere{Center: p.points[rng.Intn(len(p.points))], Radius: radius}
 		}
-		pr, err := core.PredictBasic(p.points, zeta, true, p.g, spheres, rng)
+		pr, err := core.PredictBasicTraced(p.points, zeta, true, p.g, spheres, rng, newEstimateTrace(MethodBasic, nil))
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -342,9 +483,9 @@ func (p *Predictor) EstimateRange(method Method, radius float64, opts EstimateOp
 		FixedRadius:  radius,
 		QueryIndices: indices,
 		Rng:          rng,
+		Trace:        newEstimateTrace(method, d),
 	}
 	var pr core.Prediction
-	var err error
 	switch method {
 	case MethodResampled:
 		pr, err = core.PredictResampled(pf, cfg)
@@ -366,16 +507,20 @@ func (p *Predictor) MeasureRangeAccesses(radius float64, opts EstimateOptions) (
 	if radius <= 0 {
 		return 0, fmt.Errorf("hdidx: range radius must be positive")
 	}
-	o := opts.withDefaults(len(p.points))
+	o, err := opts.withDefaults()
+	if err != nil {
+		return 0, err
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	spheres := make([]query.Sphere, o.Queries)
 	for i := range spheres {
 		spheres[i] = query.Sphere{Center: p.points[rng.Intn(len(p.points))], Radius: radius}
 	}
+	tr := obs.TraceIfEnabled("hdidx.measure.range", nil)
 	cp := make([][]float64, len(p.points))
 	copy(cp, p.points)
-	tree := rtree.Build(cp, rtree.ParamsForGeometry(p.g))
-	return stats.Mean(query.MeasureLeafAccesses(tree, spheres)), nil
+	tree := rtree.BuildTraced(cp, rtree.ParamsForGeometry(p.g), tr)
+	return stats.Mean(query.MeasureLeafAccessesTraced(tree, spheres, tr)), nil
 }
 
 // PageSizeChoice is one candidate of a page-size tuning sweep.
@@ -396,7 +541,9 @@ type PageSizeChoice struct {
 // on disk. Candidates are in bytes; nil sweeps 8 KB to 256 KB in
 // doublings. The restricted-memory resampled predictor is used where
 // the tree is tall enough and the basic model otherwise (very large
-// pages flatten the tree below the upper/lower split).
+// pages flatten the tree below the upper/lower split, which the
+// resampled predictor reports as ErrFlatTree). Any other estimation
+// error aborts the sweep.
 func (p *Predictor) TunePageSize(candidates []int, opts EstimateOptions) (best PageSizeChoice, all []PageSizeChoice, err error) {
 	if len(candidates) == 0 {
 		candidates = []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
@@ -411,13 +558,13 @@ func (p *Predictor) TunePageSize(candidates []int, opts EstimateOptions) (best P
 			return PageSizeChoice{}, nil, err
 		}
 		est, err := cand.EstimateKNN(MethodResampled, opts)
-		if err != nil {
-			// Flat trees have no upper/lower split; the basic model
-			// covers them.
+		if errors.Is(err, ErrFlatTree) {
+			// Only the flat-tree condition falls back: this page size
+			// has no upper/lower split and the basic model covers it.
 			est, err = cand.EstimateKNN(MethodBasic, opts)
-			if err != nil {
-				return PageSizeChoice{}, nil, fmt.Errorf("hdidx: page %d: %w", pb, err)
-			}
+		}
+		if err != nil {
+			return PageSizeChoice{}, nil, fmt.Errorf("hdidx: page %d: %w", pb, err)
 		}
 		choice := PageSizeChoice{
 			PageBytes:       pb,
@@ -436,7 +583,10 @@ func (p *Predictor) TunePageSize(candidates []int, opts EstimateOptions) (best P
 // average leaf accesses of the same workload an Estimate predicts —
 // the ground truth for evaluating predictions.
 func (p *Predictor) MeasureKNNAccesses(opts EstimateOptions) (float64, error) {
-	o := opts.withDefaults(len(p.points))
+	o, err := opts.withDefaults()
+	if err != nil {
+		return 0, err
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	k := o.K
 	if k > len(p.points) {
@@ -446,6 +596,10 @@ func (p *Predictor) MeasureKNNAccesses(opts EstimateOptions) (float64, error) {
 	for i := range queryPoints {
 		queryPoints[i] = p.points[rng.Intn(len(p.points))]
 	}
-	spheres := query.ComputeSpheres(p.points, queryPoints, k)
-	return stats.Mean(core.MeasureInMemory(p.points, p.g, spheres)), nil
+	tr := obs.TraceIfEnabled("hdidx.measure.knn", nil)
+	spheres := query.ComputeSpheresTraced(p.points, queryPoints, k, tr)
+	sp := tr.Span("measure.inmemory")
+	out := stats.Mean(core.MeasureInMemory(p.points, p.g, spheres))
+	sp.End()
+	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"hdidx/internal/dataset"
+	"hdidx/internal/obs"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
 )
@@ -20,6 +21,13 @@ import (
 // This is the model behind Figure 2 (relative error versus sample
 // size, with and without compensation).
 func PredictBasic(data [][]float64, zeta float64, compensate bool, g rtree.Geometry, spheres []query.Sphere, rng *rand.Rand) (Prediction, error) {
+	return PredictBasicTraced(data, zeta, compensate, g, spheres, rng, nil)
+}
+
+// PredictBasicTraced is PredictBasic with per-phase spans (sample
+// draw, mini-index build, intersection counting) recorded on tr; a nil
+// tr disables tracing.
+func PredictBasicTraced(data [][]float64, zeta float64, compensate bool, g rtree.Geometry, spheres []query.Sphere, rng *rand.Rand, tr *obs.Trace) (Prediction, error) {
 	if len(data) == 0 {
 		return Prediction{}, fmt.Errorf("core: empty dataset")
 	}
@@ -35,9 +43,13 @@ func PredictBasic(data [][]float64, zeta float64, compensate bool, g rtree.Geome
 	if m < 1 {
 		m = 1
 	}
+	sp := tr.Span(PhaseSampleDraw)
 	sample := dataset.SampleExact(data, m, rng)
+	sp.End()
+	sp = tr.Span(PhaseMiniBuild)
 	params := rtree.ParamsForGeometry(g).Scaled(zeta, topo.Height)
 	mini := rtree.Build(sample, params)
+	sp.End()
 
 	p := Prediction{
 		Method:     "basic",
@@ -47,7 +59,10 @@ func PredictBasic(data [][]float64, zeta float64, compensate bool, g rtree.Geome
 	if compensate {
 		p.LeafRects = growAll(p.LeafRects, safeCompensation(capacity, zeta))
 	}
+	sp = tr.Span(PhaseIntersect)
 	countIntersections(&p, spheres)
+	sp.End()
+	p.Phases = tr.Phases()
 	return p, nil
 }
 

@@ -24,13 +24,55 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"hdidx/internal/disk"
 	"hdidx/internal/mbr"
+	"hdidx/internal/obs"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
+)
+
+// ErrFlatTree reports that the modeled index is too flat for the
+// restricted-memory predictors: either the full tree has fewer than
+// three levels (no upper/lower split exists) or no upper tree height
+// satisfies the Section 4.5.1 bounds for the given memory size. Both
+// conditions mean PredictBasic is the right model, so callers sweeping
+// configurations (e.g. page-size tuning, where very large pages
+// flatten the tree) test for this sentinel with errors.Is and fall
+// back — every other error is a real failure and must propagate.
+var ErrFlatTree = errors.New("tree too flat for an upper/lower split")
+
+// Phase names recorded by the predictors. Within one prediction the
+// top-level phases do not overlap and cover every disk access, so
+// their I/O costs sum to the prediction's total IOSeconds.
+const (
+	// PhaseQueriesRead covers the q random reads of the query points.
+	PhaseQueriesRead = "queries.read"
+	// PhaseSampleScan covers the first full dataset scan that computes
+	// the query spheres and draws the M-point reservoir sample.
+	PhaseSampleScan = "sample.scan"
+	// PhaseUpperBuild covers the in-memory upper tree bulk load.
+	PhaseUpperBuild = "upper.build"
+	// PhaseResampleScan covers the second dataset scan of the
+	// resampled predictor (reads plus point classification).
+	PhaseResampleScan = "resample.scan"
+	// PhaseAreaWrite covers the writes into the k consecutive areas.
+	PhaseAreaWrite = "area.write"
+	// PhaseLowerBuild covers reading each area back and bulk-loading
+	// its lower tree.
+	PhaseLowerBuild = "lower.build"
+	// PhaseLowerDerive covers the cutoff predictor's analytic
+	// derivation of the lower-tree geometry (CPU only).
+	PhaseLowerDerive = "lower.derive"
+	// PhaseSampleDraw covers the basic predictor's in-memory sample.
+	PhaseSampleDraw = "sample.draw"
+	// PhaseMiniBuild covers the basic predictor's mini-index build.
+	PhaseMiniBuild = "mini.build"
+	// PhaseIntersect covers the sphere/leaf intersection counting.
+	PhaseIntersect = "intersect.count"
 )
 
 // Config parameterizes the restricted-memory predictors.
@@ -70,6 +112,10 @@ type Config struct {
 	// assignment) instead of the nominal sigma_lower. This tightens
 	// predictions at sigma_lower < 1.
 	AdaptiveCompensation bool
+
+	// Trace, when non-nil, receives one span per pipeline phase (see
+	// the Phase* constants). Nil disables tracing at no cost.
+	Trace *obs.Trace
 }
 
 func (c Config) validate(n int) error {
@@ -116,6 +162,10 @@ type Prediction struct {
 	UpperLeaves int
 	// LeafRects is the predicted leaf page layout.
 	LeafRects []mbr.Rect
+	// Phases is the per-phase breakdown recorded on Config.Trace (nil
+	// when tracing was disabled). The top-level phases' IOSeconds sum
+	// to IOSeconds.
+	Phases []obs.Phase
 }
 
 func summarize(p *Prediction) {
@@ -161,6 +211,10 @@ func growAll(rects []mbr.Rect, factor float64) []mbr.Rect {
 }
 
 // chooseHUpper resolves the configured or automatic upper tree height.
+// Automatic selection failures mean no valid upper/lower split exists
+// for this topology and memory size, and are tagged with ErrFlatTree;
+// an explicitly configured height that is out of range is a caller
+// error and is not.
 func chooseHUpper(topo rtree.Topology, cfg Config, needLower bool) (int, error) {
 	if cfg.HUpper > 0 {
 		if cfg.HUpper < 2 || cfg.HUpper > topo.Height-1 {
@@ -168,7 +222,11 @@ func chooseHUpper(topo rtree.Topology, cfg Config, needLower bool) (int, error) 
 		}
 		return cfg.HUpper, nil
 	}
-	return topo.ChooseHUpper(cfg.M, needLower)
+	h, err := topo.ChooseHUpper(cfg.M, needLower)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w: %v", ErrFlatTree, err)
+	}
+	return h, nil
 }
 
 // scanChunk is the number of source points read per chunked scan step

@@ -23,10 +23,12 @@ func PredictCutoff(pf *disk.PointFile, cfg Config) (Prediction, error) {
 
 	// (6)-(7) Derive the lower tree leaf geometry from each grown
 	// upper leaf page; no further I/O.
+	sp := cfg.Trace.Span(PhaseLowerDerive)
 	leaves := make([]mbr.Rect, 0, up.topo.Leaves())
 	for _, box := range up.grownLeaves {
 		leaves = append(leaves, splitBoxToLeaves(box, up.topo, up.leafLevel)...)
 	}
+	sp.End()
 
 	p := Prediction{
 		Method:      "cutoff",
@@ -37,6 +39,9 @@ func PredictCutoff(pf *disk.PointFile, cfg Config) (Prediction, error) {
 		IO:          d.Counters().Sub(before),
 	}
 	p.IOSeconds = p.IO.CostSeconds(d.Params())
+	sp = cfg.Trace.Span(PhaseIntersect)
 	countIntersections(&p, up.spheres)
+	sp.End()
+	p.Phases = cfg.Trace.Phases()
 	return p, nil
 }

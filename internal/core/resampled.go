@@ -60,6 +60,7 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 		if c > srcChunk {
 			c = srcChunk
 		}
+		sp := cfg.Trace.Span(PhaseResampleScan)
 		pts := pf.ReadRange(off, c)
 		// Bernoulli-subsample the chunk at sigma_lower.
 		kept := pts
@@ -84,8 +85,10 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 			boxes[b].Extend(p)
 			buffers[b] = append(buffers[b], p)
 		}
+		sp.End()
 		// Flush each non-empty buffer to its area: one seek plus the
 		// page transfers per area, as in the paper's distribution step.
+		sp = cfg.Trace.Span(PhaseAreaWrite)
 		for b, buf := range buffers {
 			if len(buf) == 0 {
 				continue
@@ -99,9 +102,11 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 			}
 			buffers[b] = buffers[b][:0]
 		}
+		sp.End()
 	}
 
 	// (8)-(11) Build each lower tree on its area with full memory.
+	sp := cfg.Trace.Span(PhaseLowerBuild)
 	ceff := float64(up.topo.EffDataCapacity())
 	dirCap := float64(up.topo.EffDirCapacity())
 	leaves := make([]mbr.Rect, 0, up.topo.Leaves())
@@ -133,6 +138,7 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 			leaves = append(leaves, r.GrowCentered(compensate))
 		}
 	}
+	sp.End()
 
 	p := Prediction{
 		Method:      "resampled",
@@ -144,7 +150,10 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 		IO:          d.Counters().Sub(before),
 	}
 	p.IOSeconds = p.IO.CostSeconds(d.Params())
+	sp = cfg.Trace.Span(PhaseIntersect)
 	countIntersections(&p, up.spheres)
+	sp.End()
+	p.Phases = cfg.Trace.Phases()
 	return p, nil
 }
 

@@ -43,7 +43,7 @@ func buildUpper(pf *disk.PointFile, cfg Config, needLower bool) (*upperResult, e
 	}
 	topo := rtree.NewTopology(n, cfg.Geometry)
 	if topo.Height < 3 {
-		return nil, fmt.Errorf("core: index of height %d has no upper/lower split; use PredictBasic", topo.Height)
+		return nil, fmt.Errorf("core: index of height %d has no upper/lower split; use PredictBasic: %w", topo.Height, ErrFlatTree)
 	}
 	hUpper, err := chooseHUpper(topo, cfg, needLower)
 	if err != nil {
@@ -52,14 +52,17 @@ func buildUpper(pf *disk.PointFile, cfg Config, needLower bool) (*upperResult, e
 	leafLevel := topo.UpperLeafLevel(hUpper)
 
 	// (2) Read the query points: q random single-page accesses.
+	sp := cfg.Trace.Span(PhaseQueriesRead)
 	queryPoints := make([][]float64, len(cfg.QueryIndices))
 	for i, qi := range cfg.QueryIndices {
 		queryPoints[i] = pf.ReadPoint(qi)
 	}
+	sp.End()
 
 	// (3) One scan: query spheres plus an M-point reservoir sample.
 	// For range workloads (FixedRadius > 0) the radii are given and
 	// only the sample is drawn; the scan I/O is identical.
+	sp = cfg.Trace.Span(PhaseSampleScan)
 	var scanner *query.SphereScanner
 	if cfg.FixedRadius == 0 {
 		scanner = query.NewSphereScanner(queryPoints, cfg.K)
@@ -89,16 +92,19 @@ func buildUpper(pf *disk.PointFile, cfg Config, needLower bool) (*upperResult, e
 			spheres[i] = query.Sphere{Center: qp, Radius: cfg.FixedRadius}
 		}
 	}
+	sp.End()
 
 	// (5) Build the upper tree on the sample. Its "leaf" capacity is
 	// the subtree capacity at the upper leaf level, scaled by the
 	// sampling rate so the structure mirrors the full index.
+	sp = cfg.Trace.Span(PhaseUpperBuild)
 	params := rtree.BuildParams{
 		LeafCap: topo.SubtreeCapacity(leafLevel) * sigmaUpper,
 		DirCap:  float64(topo.EffDirCapacity()),
 		Height:  hUpper,
 	}
 	upper := rtree.Build(reservoir.Sample(), params)
+	sp.End()
 
 	grow := safeCompensation(topo.Pts(leafLevel), sigmaUpper)
 	return &upperResult{

@@ -13,6 +13,7 @@ package disk
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Params describes the physical characteristics of the simulated disk.
@@ -77,10 +78,19 @@ func (c Counters) String() string {
 
 // Disk is a simulated disk. The zero value is not usable; construct
 // with New.
+//
+// The counter state (counters, head position) is guarded by a mutex so
+// that observability code may snapshot and diff counters concurrently
+// with accesses on other goroutines (e.g. while parallelFor workers
+// run). The page data itself is not guarded: the simulation models a
+// single logical I/O stream, and all data accesses must stay on one
+// goroutine at a time.
 type Disk struct {
-	params   Params
-	data     []byte
-	pages    int64 // allocated pages
+	params Params
+	data   []byte
+	pages  int64 // allocated pages
+
+	mu       sync.Mutex
 	counters Counters
 	lastPage int64 // last page touched, -1 if none
 }
@@ -97,12 +107,29 @@ func New(params Params) *Disk {
 func (d *Disk) Params() Params { return d.params }
 
 // Counters returns the activity accumulated since construction or the
-// last ResetCounters.
-func (d *Disk) Counters() Counters { return d.counters }
+// last ResetCounters. Safe for concurrent use with accesses.
+func (d *Disk) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters
+}
+
+// Snapshot is Counters under a name that reads as a phase boundary:
+// take one before a phase, another after, and Sub them to attribute
+// the phase's I/O. Safe for concurrent use with accesses.
+func (d *Disk) Snapshot() Counters { return d.Counters() }
+
+// DiffSince returns the activity since a snapshot taken earlier with
+// Snapshot or Counters.
+func (d *Disk) DiffSince(before Counters) Counters {
+	return d.Counters().Sub(before)
+}
 
 // ResetCounters zeroes the accumulated activity and forgets the head
 // position (the next access will seek).
 func (d *Disk) ResetCounters() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.counters = Counters{}
 	d.lastPage = noPage
 }
@@ -111,7 +138,7 @@ func (d *Disk) ResetCounters() {
 const noPage = -1 << 62
 
 // CostSeconds prices the accumulated activity under the disk's params.
-func (d *Disk) CostSeconds() float64 { return d.counters.CostSeconds(d.params) }
+func (d *Disk) CostSeconds() float64 { return d.Counters().CostSeconds(d.params) }
 
 // AllocatedPages returns the total number of pages allocated so far.
 func (d *Disk) AllocatedPages() int64 { return d.pages }
@@ -146,11 +173,13 @@ func (d *Disk) Alloc(size int64) *File {
 // access records the cost of touching the inclusive page range
 // [first, last] in one sequential sweep.
 func (d *Disk) access(first, last int64) {
+	d.mu.Lock()
 	if first != d.lastPage+1 {
 		d.counters.Seeks++
 	}
 	d.counters.Transfers += last - first + 1
 	d.lastPage = last
+	d.mu.Unlock()
 }
 
 // File is a contiguous extent of a Disk. Reads and writes are

@@ -18,6 +18,7 @@ import (
 	"hdidx/internal/core"
 	"hdidx/internal/dataset"
 	"hdidx/internal/disk"
+	"hdidx/internal/obs"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
 )
@@ -132,7 +133,10 @@ func newEnvironment(spec dataset.Spec, opt Options) *environment {
 	}
 }
 
-// config builds a predictor Config over this environment.
+// config builds a predictor Config over this environment. When the
+// obs default registry is enabled (cmd/experiments -trace), each
+// config carries a fresh trace named after the dataset so the
+// per-phase breakdown of every predictor run lands in the registry.
 func (e *environment) config(hUpper int, seedOffset int64) core.Config {
 	k := e.opt.K
 	if k > len(e.data) {
@@ -145,6 +149,7 @@ func (e *environment) config(hUpper int, seedOffset int64) core.Config {
 		QueryIndices: e.indices,
 		HUpper:       hUpper,
 		Rng:          rand.New(rand.NewSource(e.opt.Seed + 1000 + seedOffset)),
+		Trace:        obs.TraceIfEnabled("predict."+e.spec.Name, e.d),
 	}
 }
 
@@ -158,7 +163,8 @@ func (e *environment) measureOnDiskIO() (build, queries disk.Counters) {
 	pf2 := disk.NewPointFile(d2, len(e.data[0]), len(e.data))
 	pf2.AppendAll(e.data)
 	d2.ResetCounters()
-	tree := rtree.BuildOnDisk(pf2, rtree.ParamsForGeometry(e.g), e.opt.M)
+	tree := rtree.BuildOnDiskTraced(pf2, rtree.ParamsForGeometry(e.g), e.opt.M,
+		obs.TraceIfEnabled("ondisk."+e.spec.Name, d2))
 	build = d2.Counters()
 
 	k := e.opt.K

@@ -1,0 +1,35 @@
+package query
+
+import (
+	"hdidx/internal/obs"
+	"hdidx/internal/rtree"
+)
+
+// Traced variants of the workload-generation and measurement
+// entry points. Each records one wall-clock span on tr (these paths
+// are in-memory and charge no simulated-disk I/O); a nil tr disables
+// tracing. The underlying parallelFor fan-out is span-safe: the span
+// brackets the whole parallel region on the calling goroutine.
+
+// ComputeSpheresTraced is ComputeSpheres under a "workload.spheres"
+// span.
+func ComputeSpheresTraced(data, queryPoints [][]float64, k int, tr *obs.Trace) []Sphere {
+	sp := tr.Span("workload.spheres")
+	defer sp.End()
+	return ComputeSpheres(data, queryPoints, k)
+}
+
+// MeasureKNNTraced is MeasureKNN under a "measure.knn" span.
+func MeasureKNNTraced(t *rtree.Tree, queryPoints [][]float64, k int, tr *obs.Trace) []Result {
+	sp := tr.Span("measure.knn")
+	defer sp.End()
+	return MeasureKNN(t, queryPoints, k)
+}
+
+// MeasureLeafAccessesTraced is MeasureLeafAccesses under a
+// "measure.leaves" span.
+func MeasureLeafAccessesTraced(t *rtree.Tree, spheres []Sphere, tr *obs.Trace) []float64 {
+	sp := tr.Span("measure.leaves")
+	defer sp.End()
+	return MeasureLeafAccesses(t, spheres)
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hdidx/internal/mbr"
+	"hdidx/internal/obs"
 	"hdidx/internal/vec"
 )
 
@@ -104,6 +105,15 @@ func Build(pts [][]float64, params BuildParams) *Tree {
 	}
 	finish(t)
 	return t
+}
+
+// BuildTraced is Build with the bulk load's wall-clock recorded as a
+// "rtree.build" span on tr (the in-memory build performs no I/O). A
+// nil tr disables tracing.
+func BuildTraced(pts [][]float64, params BuildParams, tr *obs.Trace) *Tree {
+	sp := tr.Span("rtree.build")
+	defer sp.End()
+	return Build(pts, params)
 }
 
 // finish populates the tree's cached leaf list, node count, and

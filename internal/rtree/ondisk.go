@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hdidx/internal/disk"
+	"hdidx/internal/obs"
 	"hdidx/internal/vec"
 )
 
@@ -26,6 +27,18 @@ import (
 // fit in memory. The returned tree references decoded copies of the
 // points; pf itself ends up physically reordered into the leaf layout.
 func BuildOnDisk(pf *disk.PointFile, params BuildParams, memoryPoints int) *Tree {
+	return BuildOnDiskTraced(pf, params, memoryPoints, nil)
+}
+
+// BuildOnDiskTraced is BuildOnDisk with the build's stages recorded as
+// phase spans on tr: "ondisk.variance" (chunked variance scans),
+// "ondisk.partition" (external split read+write passes),
+// "ondisk.leaf" (reading a memory-sized range, building its subtree in
+// memory, and writing the reordered data pages back), and
+// "ondisk.dir" (the trailing directory-page writes). The top-level
+// phases cover every disk access of the build. A nil tr disables
+// tracing.
+func BuildOnDiskTraced(pf *disk.PointFile, params BuildParams, memoryPoints int, tr *obs.Trace) *Tree {
 	if pf.Len() == 0 {
 		panic("rtree: BuildOnDisk on empty file")
 	}
@@ -36,7 +49,7 @@ func BuildOnDisk(pf *disk.PointFile, params BuildParams, memoryPoints int) *Tree
 	if height <= 0 {
 		height = params.DeriveHeight(pf.Len())
 	}
-	e := &extBuilder{pf: pf, params: params, m: memoryPoints}
+	e := &extBuilder{pf: pf, params: params, m: memoryPoints, tr: tr}
 	root := e.build(0, pf.Len(), height)
 	t := &Tree{
 		Root:      root,
@@ -47,11 +60,13 @@ func BuildOnDisk(pf *disk.PointFile, params BuildParams, memoryPoints int) *Tree
 	finish(t)
 	// Charge the directory page writes: one page per directory node,
 	// written sequentially at the end of the build.
+	sp := tr.Span("ondisk.dir")
 	dirNodes := t.NumNodes() - t.NumLeaves()
 	if dirNodes > 0 {
 		dirFile := pfDisk(pf).Alloc(int64(dirNodes) * int64(pfDisk(pf).Params().PageBytes))
 		dirFile.TouchPages(0, int64(dirNodes))
 	}
+	sp.End()
 	return t
 }
 
@@ -61,6 +76,7 @@ type extBuilder struct {
 	pf     *disk.PointFile
 	params BuildParams
 	m      int
+	tr     *obs.Trace
 }
 
 // build constructs the subtree of the given height over file range
@@ -71,10 +87,12 @@ func (e *extBuilder) build(lo, hi, level int) *Node {
 		// The range fits in memory: read it once, build the whole
 		// subtree with the in-memory builder, and write the reordered
 		// data pages back.
+		sp := e.tr.Span("ondisk.leaf")
 		pts := e.readRange(lo, hi)
 		b := &builder{params: e.params}
 		node := b.buildLevel(pts, level)
 		e.writeBackLeaves(node, lo)
+		sp.End()
 		return node
 	}
 	subcap := e.params.subtreeCap(level - 1)
@@ -103,8 +121,12 @@ func (e *extBuilder) split(lo, hi, k int, subcap float64, childLevel int, parent
 		parent.Children = append(parent.Children, e.build(lo, hi, childLevel))
 		return
 	}
+	sp := e.tr.Span("ondisk.variance")
 	dim := e.maxVarianceDim(lo, hi)
+	sp.End()
+	sp = e.tr.Span("ondisk.partition")
 	e.partition(lo, hi, dim, cut)
+	sp.End()
 	e.split(lo, lo+cut, kl, subcap, childLevel, parent)
 	e.split(lo+cut, hi, k-kl, subcap, childLevel, parent)
 }
