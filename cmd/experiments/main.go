@@ -19,22 +19,30 @@ import (
 
 	"hdidx/internal/experiments"
 	"hdidx/internal/obs"
+	"hdidx/internal/prof"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment: fig2, table3, fig11, fig12, unif8, table4, fig9, fig10, sweepn, fig13, fig14, range, structures, or all")
-		scale   = flag.Float64("scale", 0.1, "dataset scale factor")
-		queries = flag.Int("queries", 0, "sample queries (default 500)")
-		k       = flag.Int("k", 0, "k of k-NN (default 21)")
-		m       = flag.Int("m", 0, "memory in points (default 10000*scale)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		trace   = flag.Bool("trace", false, "collect per-phase traces and print them after the runs")
+		run        = flag.String("run", "all", "experiment: fig2, table3, fig11, fig12, unif8, table4, fig9, fig10, sweepn, fig13, fig14, range, structures, or all")
+		scale      = flag.Float64("scale", 0.1, "dataset scale factor")
+		queries    = flag.Int("queries", 0, "sample queries (default 500)")
+		k          = flag.Int("k", 0, "k of k-NN (default 21)")
+		m          = flag.Int("m", 0, "memory in points (default 10000*scale)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		trace      = flag.Bool("trace", false, "collect per-phase traces and print them after the runs")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed}
 	if *trace {
 		obs.Default.SetEnabled(true)
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 
 	ids := strings.Split(*run, ",")
@@ -44,6 +52,7 @@ func main() {
 	for _, id := range ids {
 		if err := runOne(strings.TrimSpace(id), opt); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			stopProf()
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -52,6 +61,7 @@ func main() {
 		fmt.Println("=== phase traces ===")
 		obs.Default.WriteText(os.Stdout)
 	}
+	stopProf()
 }
 
 func runOne(id string, opt experiments.Options) error {

@@ -17,20 +17,23 @@ import (
 
 	"hdidx"
 	"hdidx/internal/dataset"
+	"hdidx/internal/prof"
 )
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "dataset file written by datagen (required)")
-		method    = flag.String("method", "resampled", "prediction method: basic, cutoff, or resampled")
-		k         = flag.Int("k", 21, "k of the k-NN workload")
-		q         = flag.Int("q", 500, "number of density-biased sample queries")
-		m         = flag.Int("m", 10000, "memory size in points")
-		pageBytes = flag.Int("page", 8192, "index page size in bytes")
-		radius    = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		measure   = flag.Bool("measure", false, "also build the full index in memory and measure the workload")
-		trace     = flag.Bool("trace", false, "print the per-phase cost breakdown of the prediction")
+		dataPath   = flag.String("data", "", "dataset file written by datagen (required)")
+		method     = flag.String("method", "resampled", "prediction method: basic, cutoff, or resampled")
+		k          = flag.Int("k", 21, "k of the k-NN workload")
+		q          = flag.Int("q", 500, "number of density-biased sample queries")
+		m          = flag.Int("m", 10000, "memory size in points")
+		pageBytes  = flag.Int("page", 8192, "index page size in bytes")
+		radius     = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		measure    = flag.Bool("measure", false, "also build the full index in memory and measure the workload")
+		trace      = flag.Bool("trace", false, "print the per-phase cost breakdown of the prediction")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -38,17 +41,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	d, err := dataset.Load(*dataPath)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "idxpredict:", err)
 		os.Exit(1)
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "idxpredict:", err)
+		stopProf()
+		os.Exit(1)
+	}
+	d, err := dataset.Load(*dataPath)
+	if err != nil {
+		die(err)
 	}
 	fmt.Printf("dataset: %d points, %d dimensions\n", d.N(), d.Dim())
 
 	p, err := hdidx.NewPredictor(d.Points, hdidx.WithPageBytes(*pageBytes))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "idxpredict:", err)
-		os.Exit(1)
+		die(err)
 	}
 	opts := hdidx.EstimateOptions{K: *k, Queries: *q, Memory: *m, Seed: *seed}
 	var est hdidx.Estimate
@@ -58,8 +69,7 @@ func main() {
 		est, err = p.EstimateKNN(hdidx.Method(*method), opts)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "idxpredict:", err)
-		os.Exit(1)
+		die(err)
 	}
 	fmt.Printf("method:               %s\n", est.Method)
 	fmt.Printf("predicted accesses:   %.1f leaf pages/query\n", est.MeanAccesses)
@@ -81,10 +91,10 @@ func main() {
 			measured, err = p.MeasureKNNAccesses(opts)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "idxpredict:", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Printf("measured accesses:    %.1f leaf pages/query\n", measured)
 		fmt.Printf("relative error:       %+.1f%%\n", (est.MeanAccesses-measured)/measured*100)
 	}
+	stopProf()
 }

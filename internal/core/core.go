@@ -179,11 +179,14 @@ func summarize(p *Prediction) {
 }
 
 // countIntersections fills PerQuery from the predicted leaf layout.
+// The layout is flattened once into an mbr.RectSet and the queries run
+// the early-exit intersection kernel in parallel.
 func countIntersections(p *Prediction, spheres []query.Sphere) {
+	set := mbr.NewRectSet(p.LeafRects)
 	p.PerQuery = make([]float64, len(spheres))
-	for i, s := range spheres {
-		p.PerQuery[i] = float64(query.CountIntersections(p.LeafRects, s))
-	}
+	query.ParallelFor(len(spheres), func(i int) {
+		p.PerQuery[i] = float64(set.CountSphereIntersections(spheres[i].Center, spheres[i].Radius))
+	})
 	summarize(p)
 }
 

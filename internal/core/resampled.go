@@ -43,6 +43,7 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 	for i, b := range up.grownLeaves {
 		boxes[i] = b.Clone()
 	}
+	grownSet := mbr.NewRectSet(up.grownLeaves)
 	areas := make([]*disk.PointFile, k)
 	for i := range areas {
 		areas[i] = disk.NewPointFile(d, pf.Dim(), cfg.M)
@@ -75,7 +76,7 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 		// Classify in parallel against the static grown pages, then
 		// apply the bookkeeping box growth sequentially.
 		assign = assign[:len(kept)]
-		classifyPoints(kept, up.grownLeaves, assign, cfg.DiscardOutside)
+		classifyPoints(kept, grownSet, assign, cfg.DiscardOutside)
 		for i, p := range kept {
 			b := assign[i]
 			if b < 0 {
@@ -160,23 +161,11 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 // classifyPoints assigns each point to the index of the box containing
 // it, or the closest box by MinDist when none contains it. With
 // discardOutside, points contained in no box get -1 instead. The
-// assignment runs in parallel over points.
-func classifyPoints(pts [][]float64, boxes []mbr.Rect, out []int, discardOutside bool) {
+// assignment runs the flat early-exit classifier in parallel over
+// points.
+func classifyPoints(pts [][]float64, boxes *mbr.RectSet, out []int, discardOutside bool) {
 	query.ParallelFor(len(pts), func(i int) {
-		p := pts[i]
-		best, bestDist := 0, math.Inf(1)
-		contained := false
-		for b, box := range boxes {
-			d := box.MinSqDist(p)
-			if d == 0 {
-				best = b
-				contained = true
-				break
-			}
-			if d < bestDist {
-				best, bestDist = b, d
-			}
-		}
+		best, contained := boxes.Classify(pts[i])
 		if discardOutside && !contained {
 			best = -1
 		}

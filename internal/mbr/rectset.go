@@ -1,0 +1,172 @@
+package mbr
+
+import (
+	"fmt"
+	"math"
+)
+
+// RectSet is a flat, structure-of-arrays rectangle collection: the Lo
+// and Hi corners of all rectangles live in two contiguous []float64
+// arrays (rectangle i occupies entries [i*dim, (i+1)*dim)), instead of
+// one two-slice Rect header per rectangle. The hot predicates — sphere
+// intersection counting and nearest-box classification — walk these
+// arrays sequentially with a per-dimension early exit, which is what
+// makes the leaf-access measurement and the predictors' intersection
+// phase cache-friendly at high dimensionality.
+//
+// A RectSet is immutable after construction and safe for concurrent
+// readers. The slice-based Rect predicates remain the reference
+// implementations; the kernels here are bit-identical to them (they
+// accumulate per-dimension terms in the same order and only skip work
+// whose outcome is already decided), which the rectset tests assert.
+type RectSet struct {
+	lo, hi []float64
+	n, dim int
+}
+
+// NewRectSet flattens rects into a RectSet, copying the corners. All
+// rectangles must agree in dimensionality.
+func NewRectSet(rects []Rect) *RectSet {
+	s := &RectSet{n: len(rects)}
+	if len(rects) == 0 {
+		return s
+	}
+	s.dim = rects[0].Dim()
+	s.lo = make([]float64, s.n*s.dim)
+	s.hi = make([]float64, s.n*s.dim)
+	for i, r := range rects {
+		if r.Dim() != s.dim {
+			panic(fmt.Sprintf("mbr: rectangle %d has dimension %d, want %d", i, r.Dim(), s.dim))
+		}
+		copy(s.lo[i*s.dim:], r.Lo)
+		copy(s.hi[i*s.dim:], r.Hi)
+	}
+	return s
+}
+
+// Len returns the number of rectangles.
+func (s *RectSet) Len() int { return s.n }
+
+// Dim returns the dimensionality (0 for an empty set).
+func (s *RectSet) Dim() int { return s.dim }
+
+// At returns a copy of rectangle i as a Rect.
+func (s *RectSet) At(i int) Rect {
+	return FromCorners(s.lo[i*s.dim:(i+1)*s.dim], s.hi[i*s.dim:(i+1)*s.dim])
+}
+
+// Rects expands the set back into a []Rect, copying.
+func (s *RectSet) Rects() []Rect {
+	out := make([]Rect, s.n)
+	for i := range out {
+		out[i] = s.At(i)
+	}
+	return out
+}
+
+// MinSqDist returns the squared Euclidean distance from p to the
+// nearest point of rectangle i, exactly as Rect.MinSqDist does.
+func (s *RectSet) MinSqDist(i int, p []float64) float64 {
+	lo := s.lo[i*s.dim : (i+1)*s.dim]
+	hi := s.hi[i*s.dim : (i+1)*s.dim]
+	var acc float64
+	for j, v := range p {
+		switch {
+		case v < lo[j]:
+			d := lo[j] - v
+			acc += d * d
+		case v > hi[j]:
+			d := v - hi[j]
+			acc += d * d
+		}
+	}
+	return acc
+}
+
+// CountSphereIntersections returns how many rectangles the closed ball
+// around center touches — the flat kernel behind leaf-access
+// measurement and the predictors' intersection counting. Per rectangle
+// it accumulates the MINDIST terms dimension by dimension and bails
+// out as soon as the partial sum exceeds radius²: the remaining terms
+// are non-negative, so the rectangle is already known not to
+// intersect. The count is bit-identical to looping
+// Rect.IntersectsSphere over the same rectangles.
+func (s *RectSet) CountSphereIntersections(center []float64, radius float64) int {
+	if s.n == 0 {
+		return 0
+	}
+	if len(center) != s.dim {
+		panic(fmt.Sprintf("mbr: center dimension %d != rect dimension %d", len(center), s.dim))
+	}
+	r2 := radius * radius
+	count := 0
+	dim := s.dim
+	lo, hi := s.lo, s.hi
+	for base := 0; base < len(lo); base += dim {
+		var acc float64
+		for j, v := range center {
+			if l := lo[base+j]; v < l {
+				d := l - v
+				acc += d * d
+			} else if h := hi[base+j]; v > h {
+				d := v - h
+				acc += d * d
+			}
+			if acc > r2 {
+				break
+			}
+		}
+		if acc <= r2 {
+			count++
+		}
+	}
+	return count
+}
+
+// Classify returns the index of the rectangle containing p — the first
+// one in set order, matching a sequential scan that stops at the first
+// MinSqDist of zero — or, when none contains it, the closest rectangle
+// by MINDIST (first strictly-smaller wins, again matching the
+// sequential reference). contained reports which case occurred. It
+// panics on an empty set.
+func (s *RectSet) Classify(p []float64) (best int, contained bool) {
+	if s.n == 0 {
+		panic("mbr: Classify against an empty RectSet")
+	}
+	if len(p) != s.dim {
+		panic(fmt.Sprintf("mbr: point dimension %d != rect dimension %d", len(p), s.dim))
+	}
+	dim := s.dim
+	lo, hi := s.lo, s.hi
+	bestDist := math.Inf(1)
+	for i, base := 0, 0; base < len(lo); i, base = i+1, base+dim {
+		var acc float64
+		pruned := false
+		for j, v := range p {
+			if l := lo[base+j]; v < l {
+				d := l - v
+				acc += d * d
+			} else if h := hi[base+j]; v > h {
+				d := v - h
+				acc += d * d
+			}
+			if acc > bestDist {
+				// Already farther than the best box; the remaining
+				// dimensions only add distance, and acc > 0 means the
+				// box cannot contain p either.
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		if acc == 0 {
+			return i, true
+		}
+		if acc < bestDist {
+			best, bestDist = i, acc
+		}
+	}
+	return best, false
+}

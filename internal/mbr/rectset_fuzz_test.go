@@ -1,0 +1,57 @@
+package mbr
+
+import "testing"
+
+// FuzzRectSetSphere decodes arbitrary byte strings into a rectangle
+// set (with deliberate degenerate extents), a sphere center, and a
+// radius, and checks that the flat intersection kernel and the
+// nearest-box classifier agree exactly with the slice-based Rect
+// oracles. Run with `go test -fuzz=FuzzRectSetSphere ./internal/mbr`;
+// the seed corpus executes as part of the normal test suite.
+func FuzzRectSetSphere(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(2), uint8(40))
+	f.Add([]byte{0, 0, 0, 0, 255, 255}, uint8(1), uint8(0))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7}, uint8(3), uint8(200))
+	f.Fuzz(func(t *testing.T, raw []byte, dimRaw, radRaw uint8) {
+		dim := 1 + int(dimRaw)%8
+		// Each rectangle consumes 2*dim bytes (lo then extent); the
+		// remaining dim bytes (if any) seed the sphere center.
+		per := 2 * dim
+		n := len(raw) / per
+		if n == 0 {
+			return
+		}
+		rects := make([]Rect, n)
+		for i := range rects {
+			lo := make([]float64, dim)
+			hi := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				lo[j] = float64(raw[i*per+j]) / 16
+				hi[j] = lo[j] + float64(raw[i*per+dim+j]%64)/16 // 0 extent when byte%64 == 0
+			}
+			rects[i] = Rect{Lo: lo, Hi: hi}
+		}
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = float64(raw[(j*7)%len(raw)])/16 - 4
+		}
+		radius := float64(radRaw) / 8
+
+		s := NewRectSet(rects)
+		if got, want := s.CountSphereIntersections(center, radius),
+			refCountIntersections(rects, center, radius); got != want {
+			t.Fatalf("flat kernel counted %d, oracle %d (dim=%d n=%d r=%v)", got, want, dim, n, radius)
+		}
+		// Exact tangency to the first rectangle.
+		tangent := rects[0].MinDist(center)
+		if got, want := s.CountSphereIntersections(center, tangent),
+			refCountIntersections(rects, center, tangent); got != want {
+			t.Fatalf("tangent radius: flat kernel counted %d, oracle %d", got, want)
+		}
+		gotB, gotC := s.Classify(center)
+		wantB, wantC := refClassify(rects, center)
+		if gotB != wantB || gotC != wantC {
+			t.Fatalf("Classify = (%d,%v), oracle (%d,%v)", gotB, gotC, wantB, wantC)
+		}
+	})
+}

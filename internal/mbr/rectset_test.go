@@ -1,0 +1,305 @@
+package mbr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCountIntersections is the slice-based oracle: the loop the query
+// package ran before the flat kernel existed.
+func refCountIntersections(rects []Rect, center []float64, radius float64) int {
+	n := 0
+	for _, r := range rects {
+		if r.IntersectsSphere(center, radius) {
+			n++
+		}
+	}
+	return n
+}
+
+// refClassify is the slice-based oracle for RectSet.Classify: first
+// containing box wins, otherwise the first strictly-closest box.
+func refClassify(boxes []Rect, p []float64) (int, bool) {
+	best, bestDist := 0, math.Inf(1)
+	for b, box := range boxes {
+		d := box.MinSqDist(p)
+		if d == 0 {
+			return b, true
+		}
+		if d < bestDist {
+			best, bestDist = b, d
+		}
+	}
+	return best, false
+}
+
+func randRects(rng *rand.Rand, n, dim int, degenerate bool) []Rect {
+	rects := make([]Rect, n)
+	for i := range rects {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for j := range lo {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			if degenerate && rng.Intn(3) == 0 {
+				b = a // zero extent in this dimension
+			}
+			lo[j], hi[j] = a, b
+		}
+		rects[i] = Rect{Lo: lo, Hi: hi}
+	}
+	return rects
+}
+
+func TestRectSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rects := randRects(rng, 17, 6, true)
+	s := NewRectSet(rects)
+	if s.Len() != 17 || s.Dim() != 6 {
+		t.Fatalf("set is %d rects x %d dims", s.Len(), s.Dim())
+	}
+	for i, r := range rects {
+		got := s.At(i)
+		for j := range r.Lo {
+			if got.Lo[j] != r.Lo[j] || got.Hi[j] != r.Hi[j] {
+				t.Fatalf("rect %d dim %d: got %v, want %v", i, j, got, r)
+			}
+		}
+	}
+	back := s.Rects()
+	if len(back) != len(rects) {
+		t.Fatalf("Rects returned %d, want %d", len(back), len(rects))
+	}
+}
+
+func TestRectSetEmpty(t *testing.T) {
+	s := NewRectSet(nil)
+	if s.Len() != 0 {
+		t.Fatal("empty set has rects")
+	}
+	if got := s.CountSphereIntersections([]float64{0.5}, 10); got != 0 {
+		t.Errorf("empty set counted %d intersections", got)
+	}
+}
+
+func TestRectSetMismatchedDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mixed dimensionality")
+		}
+	}()
+	NewRectSet([]Rect{New([]float64{1}), New([]float64{1, 2})})
+}
+
+func TestRectSetMinSqDistMatchesRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rects := randRects(rng, 50, 8, true)
+	s := NewRectSet(rects)
+	p := make([]float64, 8)
+	for trial := 0; trial < 200; trial++ {
+		for j := range p {
+			p[j] = rng.Float64()*3 - 1
+		}
+		for i, r := range rects {
+			if got, want := s.MinSqDist(i, p), r.MinSqDist(p); got != want {
+				t.Fatalf("rect %d: MinSqDist %v != %v", i, got, want)
+			}
+		}
+	}
+}
+
+// The edge cases the intersection predicate must get exactly right:
+// zero-radius spheres, spheres exactly tangent to a face or corner,
+// and degenerate (zero-extent) rectangles. The flat kernel must agree
+// with Rect.IntersectsSphere bit for bit.
+func TestRectSetSphereEdgeCases(t *testing.T) {
+	unit := FromCorners([]float64{0, 0}, []float64{1, 1})
+	point := New([]float64{2, 2})                            // fully degenerate
+	segment := FromCorners([]float64{4, 0}, []float64{4, 1}) // degenerate in x
+	rects := []Rect{unit, point, segment}
+	s := NewRectSet(rects)
+
+	cases := []struct {
+		name   string
+		center []float64
+		radius float64
+	}{
+		{"zero radius inside", []float64{0.5, 0.5}, 0},
+		{"zero radius on corner", []float64{1, 1}, 0},
+		{"zero radius outside", []float64{1.5, 0.5}, 0},
+		{"tangent to face", []float64{2, 0.5}, 1},
+		{"just inside tangency", []float64{2, 0.5}, 1 + 1e-12},
+		{"just outside tangency", []float64{2, 0.5}, 1 - 1e-12},
+		{"tangent to corner", []float64{1 + 3, 1 + 4}, 5}, // 3-4-5 triangle
+		{"tangent to degenerate point", []float64{2, 5}, 3},
+		{"tangent to segment end", []float64{4, 4}, 3},
+		{"tangent to segment side", []float64{6, 0.5}, 2},
+		{"huge radius", []float64{-10, -10}, 100},
+	}
+	for _, tc := range cases {
+		want := refCountIntersections(rects, tc.center, tc.radius)
+		got := s.CountSphereIntersections(tc.center, tc.radius)
+		if got != want {
+			t.Errorf("%s: flat kernel counted %d, oracle %d", tc.name, got, want)
+		}
+	}
+}
+
+// Property: on random rectangles (including degenerate ones) and
+// random spheres — some with radii manufactured to be exactly tangent
+// to a rectangle — the flat kernel equals the slice-based oracle.
+func TestRectSetSphereIntersectionsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(20)
+		n := rng.Intn(60)
+		rects := randRects(rng, n, dim, true)
+		s := NewRectSet(rects)
+		center := make([]float64, dim)
+		for trial := 0; trial < 20; trial++ {
+			for j := range center {
+				center[j] = rng.Float64()*4 - 2
+			}
+			var radius float64
+			switch {
+			case trial%5 == 0:
+				radius = 0
+			case trial%5 == 1 && n > 0:
+				// Exact tangency: the distance to a random rectangle.
+				radius = rects[rng.Intn(n)].MinDist(center)
+			default:
+				radius = rng.Float64() * 2
+			}
+			if got, want := s.CountSphereIntersections(center, radius),
+				refCountIntersections(rects, center, radius); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Classify picks exactly the box the sequential reference
+// picks — same index, same containment flag — on random point sets,
+// including points lying exactly on box boundaries.
+func TestRectSetClassifyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(12)
+		n := 1 + rng.Intn(40)
+		rects := randRects(rng, n, dim, true)
+		s := NewRectSet(rects)
+		p := make([]float64, dim)
+		for trial := 0; trial < 30; trial++ {
+			switch {
+			case trial%4 == 0:
+				// A corner of a random box: exact containment boundary.
+				r := rects[rng.Intn(n)]
+				for j := range p {
+					if rng.Intn(2) == 0 {
+						p[j] = r.Lo[j]
+					} else {
+						p[j] = r.Hi[j]
+					}
+				}
+			default:
+				for j := range p {
+					p[j] = rng.Float64()*4 - 2
+				}
+			}
+			gotB, gotC := s.Classify(p)
+			wantB, wantC := refClassify(rects, p)
+			if gotB != wantB || gotC != wantC {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// benchRectsAndSpheres stages a leaf-page-like workload: many small
+// rectangles, spheres sized so a few percent of them intersect (the
+// regime of the paper's intersection counting).
+func benchRectsAndSpheres(dim int) ([]Rect, [][]float64, float64) {
+	rng := rand.New(rand.NewSource(7))
+	const nRects, nSpheres = 2000, 64
+	rects := make([]Rect, nRects)
+	for i := range rects {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for j := range lo {
+			lo[j] = rng.Float64()
+			hi[j] = lo[j] + 0.1
+		}
+		rects[i] = Rect{Lo: lo, Hi: hi}
+	}
+	centers := make([][]float64, nSpheres)
+	for i := range centers {
+		c := make([]float64, dim)
+		for j := range c {
+			c[j] = rng.Float64()
+		}
+		centers[i] = c
+	}
+	return rects, centers, 0.25 * math.Sqrt(float64(dim)) * 0.3
+}
+
+// BenchmarkKernelLeafIntersectFlat exercises the flat RectSet kernel
+// at paper-scale dimensionality; its Ref sibling runs the slice-based
+// oracle on the identical workload. scripts/bench.sh records their
+// ratio in BENCH_kernels.json.
+func BenchmarkKernelLeafIntersectFlat(b *testing.B) {
+	rects, centers, radius := benchRectsAndSpheres(16)
+	s := NewRectSet(rects)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range centers {
+			s.CountSphereIntersections(c, radius)
+		}
+	}
+}
+
+func BenchmarkKernelLeafIntersectRef(b *testing.B) {
+	rects, centers, radius := benchRectsAndSpheres(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range centers {
+			refCountIntersections(rects, c, radius)
+		}
+	}
+}
+
+func BenchmarkKernelLeafIntersectFlat60(b *testing.B) {
+	rects, centers, radius := benchRectsAndSpheres(60)
+	s := NewRectSet(rects)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range centers {
+			s.CountSphereIntersections(c, radius)
+		}
+	}
+}
+
+func BenchmarkKernelLeafIntersectRef60(b *testing.B) {
+	rects, centers, radius := benchRectsAndSpheres(60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range centers {
+			refCountIntersections(rects, c, radius)
+		}
+	}
+}

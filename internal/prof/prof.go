@@ -1,0 +1,47 @@
+// Package prof wires the standard runtime/pprof CPU and heap
+// profiles into the command-line binaries, so kernel hot paths can be
+// profiled on real workloads (go tool pprof <binary> <profile>).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile when cpuPath is non-empty and returns a
+// stop function that finishes it and, when memPath is non-empty,
+// writes a heap profile. The stop function must run before the
+// process exits; with both paths empty it is a no-op.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package query
+
+// computeSpheresSIMD is a no-op on architectures without the vector
+// kernels; the scalar query-blocked scan handles everything.
+func computeSpheresSIMD(data, queryPoints [][]float64, k int, spheres []Sphere) bool {
+	return false
+}

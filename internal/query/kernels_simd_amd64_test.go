@@ -1,0 +1,61 @@
+package query
+
+import "testing"
+
+// The lane-width detection picks one kernel per machine, so the other
+// paths (the narrower vector kernel on AVX-512 hardware, the scalar
+// fallback everywhere) would otherwise go untested. Force each width
+// through the oracle comparison.
+func TestComputeSpheresAllLaneWidths(t *testing.T) {
+	detected := simdLanes
+	defer func() { simdLanes = detected }()
+	for _, lanes := range []int{0, 4, 8} {
+		if lanes > detected {
+			continue // CPU can't run this kernel
+		}
+		simdLanes = lanes
+		for _, dim := range []int{1, 7, 16, 60} {
+			data := uniformPoints(700, dim, int64(dim))
+			queries := uniformPoints(25, dim, int64(dim)+300)
+			for _, k := range []int{1, 21, 700} {
+				got := ComputeSpheres(data, queries, k)
+				want := refComputeSpheres(data, queries, k)
+				for i := range want {
+					if got[i].Radius != want[i].Radius {
+						t.Fatalf("lanes=%d dim=%d k=%d query %d: radius %v != oracle %v",
+							lanes, dim, k, i, got[i].Radius, want[i].Radius)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Dataset sizes around the group and batch boundaries of the packed
+// scan: lane-count multiples plus/minus one (tail rows), exactly one
+// batch, one batch plus one group.
+func TestComputeSpheresPackedBoundaries(t *testing.T) {
+	if simdLanes == 0 {
+		t.Skip("no vector kernel on this CPU")
+	}
+	l := simdLanes
+	sizes := []int{l, l + 1, 2*l - 1, scanBatch, scanBatch + l, scanBatch + l + 1}
+	for _, n := range sizes {
+		data := uniformPoints(n, 16, int64(n))
+		queries := uniformPoints(10, 16, int64(n)+1000)
+		got := ComputeSpheres(data, queries, minInt(21, n))
+		want := refComputeSpheres(data, queries, minInt(21, n))
+		for i := range want {
+			if got[i].Radius != want[i].Radius {
+				t.Fatalf("n=%d query %d: radius %v != oracle %v", n, i, got[i].Radius, want[i].Radius)
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -16,11 +16,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"hdidx/internal/mbr"
 	"hdidx/internal/rtree"
+	"hdidx/internal/vec"
 )
 
 // Sphere is a query region: the k-NN ball of a query point.
@@ -39,6 +38,10 @@ func (s Sphere) Intersects(r mbr.Rect) bool {
 // participates at distance zero, matching the paper's density-biased
 // workloads whose query points are drawn from the dataset. It panics
 // if k exceeds the number of points or is not positive.
+//
+// This is the slice-based reference implementation; ComputeSpheres
+// runs the flat early-exit kernel, whose radii are bit-identical
+// (asserted by the kernel tests).
 func KNNBruteRadius(pts [][]float64, q []float64, k int) float64 {
 	if k <= 0 || k > len(pts) {
 		panic(fmt.Sprintf("query: k = %d outside [1, %d]", k, len(pts)))
@@ -52,28 +55,27 @@ func KNNBruteRadius(pts [][]float64, q []float64, k int) float64 {
 
 // ComputeSpheres computes the k-NN sphere of every query point against
 // the full dataset, the way the paper determines its query shapes
-// during the single dataset scan. Queries are processed in parallel.
+// during the single dataset scan. The dataset is laid out flat once
+// (packed for the vector kernel where available, row-major otherwise)
+// and each query runs the blocked early-exit scan kernel; queries are
+// processed in parallel chunks with pooled scratch.
 func ComputeSpheres(data [][]float64, queryPoints [][]float64, k int) []Sphere {
-	spheres := make([]Sphere, len(queryPoints))
-	parallelFor(len(queryPoints), func(i int) {
-		spheres[i] = Sphere{
-			Center: queryPoints[i],
-			Radius: KNNBruteRadius(data, queryPoints[i], k),
-		}
-	})
-	return spheres
+	return computeSpheresFlat(data, queryPoints, k)
 }
 
 // DensityBiasedWorkload draws q query points uniformly from the
 // dataset (so denser regions receive proportionally more queries) and
-// computes their k-NN spheres against the full dataset.
+// computes their k-NN spheres against the full dataset. The query
+// points are copies of the drawn dataset rows, so a workload stays
+// valid even if the dataset is later transformed in place (KLT/DFT
+// dimensionality reduction).
 func DensityBiasedWorkload(data [][]float64, q, k int, rng *rand.Rand) []Sphere {
 	if q <= 0 {
 		panic("query: workload needs at least one query")
 	}
 	queryPoints := make([][]float64, q)
 	for i := range queryPoints {
-		queryPoints[i] = data[rng.Intn(len(data))]
+		queryPoints[i] = vec.Clone(data[rng.Intn(len(data))])
 	}
 	return ComputeSpheres(data, queryPoints, k)
 }
@@ -81,6 +83,10 @@ func DensityBiasedWorkload(data [][]float64, q, k int, rng *rand.Rand) []Sphere 
 // CountIntersections returns the number of rectangles intersecting the
 // sphere. This is the page-access count of an optimal k-NN search over
 // leaves with those MBRs, and the quantity every predictor estimates.
+//
+// This is the slice-based reference implementation; the measurement
+// and prediction hot paths run mbr.RectSet.CountSphereIntersections,
+// which is bit-identical (asserted by the rectset tests).
 func CountIntersections(rects []mbr.Rect, s Sphere) int {
 	n := 0
 	for _, r := range rects {
@@ -92,12 +98,15 @@ func CountIntersections(rects []mbr.Rect, s Sphere) int {
 }
 
 // MeasureLeafAccesses counts, for each query sphere, the leaf pages of
-// the tree intersecting it. Queries run in parallel.
+// the tree intersecting it, using the tree's flat leaf-MBR set.
+// Queries run in parallel.
 func MeasureLeafAccesses(t *rtree.Tree, spheres []Sphere) []float64 {
-	rects := t.LeafRects()
+	set := t.LeafRectSet()
 	out := make([]float64, len(spheres))
-	parallelFor(len(spheres), func(i int) {
-		out[i] = float64(CountIntersections(rects, spheres[i]))
+	parallelChunks(len(spheres), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(set.CountSphereIntersections(spheres[i].Center, spheres[i].Radius))
+		}
 	})
 	return out
 }
@@ -230,41 +239,6 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// ParallelFor runs f(i) for i in [0, n) on up to GOMAXPROCS workers
-// and waits for completion. It is exported for the predictors' CPU-
-// bound loops (sphere scans, point classification).
-func ParallelFor(n int, f func(int)) { parallelFor(n, f) }
-
-// parallelFor runs f(i) for i in [0, n) on up to GOMAXPROCS workers.
-func parallelFor(n int, f func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
 // nodeEntry / nodeHeap implement the best-first priority queue.
 type nodeEntry struct {
 	node *rtree.Node
@@ -294,6 +268,17 @@ type boundedMaxHeap struct {
 
 func newBoundedMaxHeap(k int) *boundedMaxHeap {
 	return &boundedMaxHeap{k: k, vals: make([]float64, 0, k)}
+}
+
+// reset empties the heap and re-arms it for k values, keeping the
+// backing array when it is large enough (pooled scratch reuse).
+func (h *boundedMaxHeap) reset(k int) {
+	h.k = k
+	if cap(h.vals) < k {
+		h.vals = make([]float64, 0, k)
+	} else {
+		h.vals = h.vals[:0]
+	}
 }
 
 func (h *boundedMaxHeap) full() bool { return len(h.vals) == h.k }

@@ -74,12 +74,21 @@ func TestDensityBiasedWorkloadDrawsFromData(t *testing.T) {
 		found := false
 		for _, p := range data {
 			if &p[0] == &s.Center[0] {
+				t.Fatal("query center aliases a dataset row; workloads must survive in-place dataset transforms")
+			}
+			equal := true
+			for j := range p {
+				if p[j] != s.Center[j] {
+					equal = false
+					break
+				}
+			}
+			if equal {
 				found = true
-				break
 			}
 		}
 		if !found {
-			t.Error("query center is not a dataset point")
+			t.Error("query center is not a copy of a dataset point")
 		}
 	}
 }

@@ -1,6 +1,10 @@
 package query
 
-import "math"
+import (
+	"math"
+
+	"hdidx/internal/vec"
+)
 
 // SphereScanner computes the k-NN radii of a fixed set of query points
 // over a dataset that is streamed in chunks — the way the predictors
@@ -11,6 +15,7 @@ type SphereScanner struct {
 	k           int
 	heaps       []*boundedMaxHeap
 	seen        int
+	buf         vec.Matrix // flattened current chunk, reused across chunks
 }
 
 // NewSphereScanner prepares a scanner for the given query points and k.
@@ -25,15 +30,21 @@ func NewSphereScanner(queryPoints [][]float64, k int) *SphereScanner {
 	return &SphereScanner{queryPoints: queryPoints, k: k, heaps: heaps}
 }
 
-// Process feeds one chunk of the dataset to the scanner. Queries are
+// Process feeds one chunk of the dataset to the scanner. The chunk is
+// flattened once into the scanner's reusable row-major buffer, then
+// every query advances its heap with the early-exit scan kernel (the
+// k-th-best bound carries over from earlier chunks). Queries are
 // updated in parallel.
 func (s *SphereScanner) Process(chunk [][]float64) {
 	s.seen += len(chunk)
-	parallelFor(len(s.queryPoints), func(i int) {
-		q := s.queryPoints[i]
-		h := s.heaps[i]
-		for _, p := range chunk {
-			h.offer(sqDist(p, q))
+	if len(chunk) == 0 {
+		return
+	}
+	s.buf.Reset()
+	s.buf.AppendRows(chunk)
+	parallelChunks(len(s.queryPoints), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			scanKNNFlat(s.buf.Data, s.buf.Dim, s.queryPoints[i], s.heaps[i])
 		}
 	})
 }

@@ -116,8 +116,8 @@ func BuildTraced(pts [][]float64, params BuildParams, tr *obs.Trace) *Tree {
 	return Build(pts, params)
 }
 
-// finish populates the tree's cached leaf list, node count, and
-// breadth-first page IDs.
+// finish populates the tree's cached leaf list, flat leaf-MBR set,
+// node count, and breadth-first page IDs.
 func finish(t *Tree) {
 	t.leaves = t.leaves[:0]
 	t.nodes = 0
@@ -135,6 +135,11 @@ func finish(t *Tree) {
 			queue = append(queue, n.Children...)
 		}
 	}
+	rects := make([]mbr.Rect, len(t.leaves))
+	for i, l := range t.leaves {
+		rects[i] = l.Rect
+	}
+	t.leafSet = mbr.NewRectSet(rects)
 }
 
 type builder struct {

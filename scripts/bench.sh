@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the kernel microbenchmarks (sphere scan and leaf-intersection
+# count, d=16 and d=60) and writes BENCH_kernels.json with the best
+# ns/op of each benchmark and the flat-vs-reference speedups the
+# acceptance criteria track. Interleaved -count runs and per-benchmark
+# minima keep the ratios robust against machine noise.
+#
+# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+BENCHTIME="${BENCHTIME:-20x}"
+OUT="${OUT:-BENCH_kernels.json}"
+
+raw="$(go test -run='^$' -bench='^BenchmarkKernel' -benchtime="$BENCHTIME" -count="$COUNT" \
+	./internal/query/ ./internal/mbr/)"
+echo "$raw"
+
+echo "$raw" | awk -v out="$OUT" -v count="$COUNT" -v benchtime="$BENCHTIME" '
+/^BenchmarkKernel/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	ns = $3 + 0
+	if (!(name in best) || ns < best[name]) best[name] = ns
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n" > out
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"count\": %d,\n", count > out
+	printf "  \"best_ns_per_op\": {\n" > out
+	for (i = 1; i <= n; i++) {
+		printf "    \"%s\": %.0f%s\n", order[i], best[order[i]], (i < n ? "," : "") > out
+	}
+	printf "  },\n" > out
+	printf "  \"speedups\": {\n" > out
+	m = split("compute_spheres_d16:KernelComputeSpheresFlat:KernelComputeSpheresRef " \
+	          "compute_spheres_d60:KernelComputeSpheresFlat60:KernelComputeSpheresRef60 " \
+	          "leaf_intersect_d16:KernelLeafIntersectFlat:KernelLeafIntersectRef " \
+	          "leaf_intersect_d60:KernelLeafIntersectFlat60:KernelLeafIntersectRef60", pairs, " ")
+	for (i = 1; i <= m; i++) {
+		split(pairs[i], p, ":")
+		flat = best["Benchmark" p[2]]; ref = best["Benchmark" p[3]]
+		if (flat > 0 && ref > 0)
+			printf "    \"%s\": %.2f%s\n", p[1], ref / flat, (i < m ? "," : "") > out
+	}
+	printf "  }\n}\n" > out
+}'
+
+echo "wrote $OUT:"
+cat "$OUT"
