@@ -24,18 +24,19 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment: fig2, table3, fig11, fig12, unif8, table4, fig9, fig10, sweepn, fig13, fig14, range, structures, or all")
+		run        = flag.String("run", "all", "experiment: fig2, table3, fig11, fig12, unif8, table4, fig9, fig10, sweepn, fig13, fig14, range, structures, buffers, or all")
 		scale      = flag.Float64("scale", 0.1, "dataset scale factor")
 		queries    = flag.Int("queries", 0, "sample queries (default 500)")
 		k          = flag.Int("k", 0, "k of k-NN (default 21)")
 		m          = flag.Int("m", 0, "memory in points (default 10000*scale)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		bufPages   = flag.Int("buffer-pages", 0, "buffer-pool page budget for the measured experiments (0 = uncached)")
 		trace      = flag.Bool("trace", false, "collect per-phase traces and print them after the runs")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed}
+	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed, BufferPages: *bufPages}
 	if *trace {
 		obs.Default.SetEnabled(true)
 	}
@@ -47,7 +48,7 @@ func main() {
 
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
-		ids = []string{"fig2", "table3", "fig11", "fig12", "unif8", "table4", "fig9", "fig10", "sweepn", "fig13", "fig14", "range", "structures", "dynamic", "datasets"}
+		ids = []string{"fig2", "table3", "fig11", "fig12", "unif8", "table4", "fig9", "fig10", "sweepn", "fig13", "fig14", "range", "structures", "dynamic", "datasets", "buffers"}
 	}
 	for _, id := range ids {
 		if err := runOne(strings.TrimSpace(id), opt); err != nil {
@@ -162,6 +163,12 @@ func runOne(id string, opt experiments.Options) error {
 		fmt.Print(r)
 	case "datasets":
 		r, err := experiments.AllDatasets(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "buffers":
+		r, err := experiments.BufferSweep(opt)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,7 @@ func main() {
 		k          = flag.Int("k", 21, "k of the k-NN workload")
 		q          = flag.Int("q", 500, "number of density-biased sample queries")
 		m          = flag.Int("m", 10000, "memory size in points")
+		bufPages   = flag.Int("buffer-pages", 0, "buffer-pool page budget for the simulated disk (0 = uncached; carved out of -m)")
 		pageBytes  = flag.Int("page", 8192, "index page size in bytes")
 		radius     = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -61,7 +62,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	opts := hdidx.EstimateOptions{K: *k, Queries: *q, Memory: *m, Seed: *seed}
+	opts := hdidx.EstimateOptions{K: *k, Queries: *q, Memory: *m, Seed: *seed, BufferPages: *bufPages}
 	var est hdidx.Estimate
 	if *radius > 0 {
 		est, err = p.EstimateRange(hdidx.Method(*method), *radius, opts)
@@ -78,6 +79,15 @@ func main() {
 			est.HUpper, est.SigmaUpper, est.SigmaLower)
 	}
 	fmt.Printf("prediction I/O cost:  %.3f s (simulated disk)\n", est.PredictionIOSeconds)
+	if *bufPages > 0 {
+		total := est.CacheHits + est.CacheMisses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(est.CacheHits) / float64(total) * 100
+		}
+		fmt.Printf("buffer pool:          %d pages, %d hits / %d misses (%.1f%% hit rate)\n",
+			*bufPages, est.CacheHits, est.CacheMisses, rate)
+	}
 	if *trace {
 		fmt.Println()
 		fmt.Print(est.PhaseReport())

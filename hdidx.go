@@ -237,6 +237,15 @@ type EstimateOptions struct {
 	// used verbatim — the zero value runs with seed 0 — and negative
 	// values select DefaultSeed.
 	Seed int64
+	// BufferPages is the page budget of the simulated disk's buffer
+	// pool for the restricted-memory methods. 0 (the default) runs
+	// uncached — the historical cost model, where every page touch is
+	// physical I/O. A positive budget caches that many pages (CLOCK
+	// eviction, write-back of dirty pages), and is carved out of the
+	// same physical memory as Memory: the sample the predictors draw
+	// shrinks by the cache's point equivalent. Ignored by MethodBasic,
+	// which does no disk I/O.
+	BufferPages int
 }
 
 func (o EstimateOptions) withDefaults() (EstimateOptions, error) {
@@ -251,6 +260,9 @@ func (o EstimateOptions) withDefaults() (EstimateOptions, error) {
 	}
 	if o.SampleFraction < 0 || o.SampleFraction > 1 {
 		return o, fmt.Errorf("hdidx: sample fraction %g outside [0, 1]", o.SampleFraction)
+	}
+	if o.BufferPages < 0 {
+		return o, fmt.Errorf("hdidx: negative buffer-pool budget %d", o.BufferPages)
 	}
 	if o.K == 0 {
 		o.K = 21
@@ -285,6 +297,10 @@ type Phase struct {
 	// phase.
 	Seeks     int64
 	Transfers int64
+	// Hits and Misses are the phase's buffer-pool activity; both stay
+	// zero when EstimateOptions.BufferPages is 0.
+	Hits   int64
+	Misses int64
 	// IOSeconds prices the phase's disk activity under the same disk
 	// parameters as PredictionIOSeconds.
 	IOSeconds float64
@@ -311,20 +327,38 @@ type Estimate struct {
 	HUpper     int
 	SigmaUpper float64
 	SigmaLower float64
+	// CacheHits and CacheMisses total the prediction's buffer-pool
+	// activity; both stay zero when EstimateOptions.BufferPages is 0.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // PhaseReport renders the per-phase cost breakdown as an aligned text
 // table (the same layout the -trace CLI flags print).
 func (e Estimate) PhaseReport() string {
+	// The hits/misses columns only appear when a buffer pool was active.
+	cached := e.CacheHits != 0 || e.CacheMisses != 0
 	var b []byte
-	b = append(b, fmt.Sprintf("%-16s %6s %12s %8s %10s %9s\n",
+	b = append(b, fmt.Sprintf("%-16s %6s %12s %8s %10s %9s",
 		"phase", "calls", "wall", "seeks", "transfers", "io(s)")...)
-	for _, ph := range e.Phases {
-		b = append(b, fmt.Sprintf("%-16s %6d %12s %8d %10d %9.3f\n",
-			ph.Name, ph.Count, ph.Wall.Round(time.Microsecond), ph.Seeks, ph.Transfers, ph.IOSeconds)...)
+	if cached {
+		b = append(b, fmt.Sprintf(" %8s %8s", "hits", "misses")...)
 	}
-	b = append(b, fmt.Sprintf("%-16s %6s %12s %8s %10s %9.3f\n",
+	b = append(b, '\n')
+	for _, ph := range e.Phases {
+		b = append(b, fmt.Sprintf("%-16s %6d %12s %8d %10d %9.3f",
+			ph.Name, ph.Count, ph.Wall.Round(time.Microsecond), ph.Seeks, ph.Transfers, ph.IOSeconds)...)
+		if cached {
+			b = append(b, fmt.Sprintf(" %8d %8d", ph.Hits, ph.Misses)...)
+		}
+		b = append(b, '\n')
+	}
+	b = append(b, fmt.Sprintf("%-16s %6s %12s %8s %10s %9.3f",
 		"total", "", "", "", "", e.PredictionIOSeconds)...)
+	if cached {
+		b = append(b, fmt.Sprintf(" %8d %8d", e.CacheHits, e.CacheMisses)...)
+	}
+	b = append(b, '\n')
 	return string(b)
 }
 
@@ -367,10 +401,7 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 
 	// Restricted-memory methods run against the dataset staged on a
 	// fresh simulated disk, so the reported I/O cost is measured.
-	d := disk.New(disk.DefaultParams().WithPageBytes(p.g.PageBytes))
-	pf := disk.NewPointFile(d, len(p.points[0]), len(p.points))
-	pf.AppendAll(p.points)
-	d.ResetCounters()
+	d, pf := stageDataset(p.points, p.g, o)
 	indices := make([]int, o.Queries)
 	for i := range indices {
 		indices[i] = rng.Intn(len(p.points))
@@ -398,6 +429,20 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 	return estimateOf(method, pr), nil
 }
 
+// stageDataset stores the dataset on a fresh simulated disk for the
+// restricted-memory methods. Staged pages are dropped from the buffer
+// pool and the counters reset, so the prediction starts cold and its
+// reported I/O is measured from zero.
+func stageDataset(points [][]float64, g rtree.Geometry, o EstimateOptions) (*disk.Disk, *disk.PointFile) {
+	d := disk.NewBuffered(disk.DefaultParams().WithPageBytes(g.PageBytes),
+		disk.BufferConfig{Pages: o.BufferPages})
+	pf := disk.NewPointFile(d, len(points[0]), len(points))
+	pf.AppendAll(points)
+	d.DropBuffers()
+	d.ResetCounters()
+	return d, pf
+}
+
 // newEstimateTrace builds the always-on trace behind Estimate.Phases
 // and registers it with the default observability registry when that
 // is collecting (the CLIs' -trace flag).
@@ -418,6 +463,8 @@ func estimateOf(m Method, pr core.Prediction) Estimate {
 			Wall:      ph.Wall,
 			Seeks:     ph.IO.Seeks,
 			Transfers: ph.IO.Transfers,
+			Hits:      ph.IO.Hits,
+			Misses:    ph.IO.Misses,
 			IOSeconds: ph.IOSeconds,
 		}
 	}
@@ -430,6 +477,8 @@ func estimateOf(m Method, pr core.Prediction) Estimate {
 		HUpper:              pr.HUpper,
 		SigmaUpper:          pr.SigmaUpper,
 		SigmaLower:          pr.SigmaLower,
+		CacheHits:           pr.IO.Hits,
+		CacheMisses:         pr.IO.Misses,
 	}
 }
 
@@ -469,10 +518,7 @@ func (p *Predictor) EstimateRange(method Method, radius float64, opts EstimateOp
 		return estimateOf(MethodBasic, pr), nil
 	}
 
-	d := disk.New(disk.DefaultParams().WithPageBytes(p.g.PageBytes))
-	pf := disk.NewPointFile(d, len(p.points[0]), len(p.points))
-	pf.AppendAll(p.points)
-	d.ResetCounters()
+	d, pf := stageDataset(p.points, p.g, o)
 	indices := make([]int, o.Queries)
 	for i := range indices {
 		indices[i] = rng.Intn(len(p.points))

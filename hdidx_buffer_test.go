@@ -1,0 +1,102 @@
+package hdidx
+
+import (
+	"strings"
+	"testing"
+)
+
+// Acceptance: BufferPages 0 (the default) reproduces the historical
+// uncached estimates bit for bit — same predictions, same I/O counters.
+func TestEstimateBufferPagesZeroIdentical(t *testing.T) {
+	pts := clusteredPoints(t, 0.03, 7)
+	p, err := NewPredictor(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := EstimateOptions{K: 21, Queries: 20, Memory: 1500, Seed: 8}
+	zero := base
+	zero.BufferPages = 0
+	for _, m := range []Method{MethodCutoff, MethodResampled} {
+		a, err := p.EstimateKNN(m, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.EstimateKNN(m, zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MeanAccesses != b.MeanAccesses || a.PredictionIOSeconds != b.PredictionIOSeconds {
+			t.Errorf("%s: budget-0 estimate diverged: %.4f/%.4fs vs %.4f/%.4fs",
+				m, a.MeanAccesses, a.PredictionIOSeconds, b.MeanAccesses, b.PredictionIOSeconds)
+		}
+		for i := range a.Phases {
+			pa, pb := a.Phases[i], b.Phases[i]
+			if pa.Seeks != pb.Seeks || pa.Transfers != pb.Transfers {
+				t.Errorf("%s phase %s: counters diverged: %d/%d vs %d/%d",
+					m, pa.Name, pa.Seeks, pa.Transfers, pb.Seeks, pb.Transfers)
+			}
+		}
+		if a.CacheHits != 0 || a.CacheMisses != 0 {
+			t.Errorf("%s: uncached estimate reports cache activity: %d/%d",
+				m, a.CacheHits, a.CacheMisses)
+		}
+	}
+}
+
+func TestEstimateBufferPagesRecordsHits(t *testing.T) {
+	pts := clusteredPoints(t, 0.03, 7)
+	p, err := NewPredictor(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := EstimateOptions{K: 21, Queries: 20, Memory: 1500, Seed: 8, BufferPages: 8}
+	est, err := p.EstimateKNN(MethodResampled, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeanAccesses <= 0 {
+		t.Errorf("mean = %v", est.MeanAccesses)
+	}
+	if est.CacheMisses == 0 {
+		t.Error("buffered estimate recorded no page touches")
+	}
+	rep := est.PhaseReport()
+	if !strings.Contains(rep, "hits") || !strings.Contains(rep, "misses") {
+		t.Errorf("PhaseReport missing cache columns:\n%s", rep)
+	}
+	var hits, misses int64
+	for _, ph := range est.Phases {
+		hits += ph.Hits
+		misses += ph.Misses
+	}
+	if hits != est.CacheHits || misses != est.CacheMisses {
+		t.Errorf("phase cache totals %d/%d do not sum to estimate totals %d/%d",
+			hits, misses, est.CacheHits, est.CacheMisses)
+	}
+
+	// An uncached report keeps the historical columns only.
+	uncached, err := p.EstimateKNN(MethodResampled, EstimateOptions{K: 21, Queries: 20, Memory: 1500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := uncached.PhaseReport(); strings.Contains(rep, "hits") {
+		t.Errorf("uncached PhaseReport grew cache columns:\n%s", rep)
+	}
+}
+
+func TestEstimateBufferPagesValidation(t *testing.T) {
+	pts := clusteredPoints(t, 0.03, 7)
+	p, err := NewPredictor(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := EstimateOptions{K: 21, Queries: 20, Memory: 1500, Seed: 8, BufferPages: -1}
+	if _, err := p.EstimateKNN(MethodResampled, opts); err == nil {
+		t.Error("expected error for negative BufferPages")
+	}
+	// A pool consuming the entire memory budget M leaves no sample.
+	opts.BufferPages = 1500 // 34 points/page at d=60 >> M
+	if _, err := p.EstimateKNN(MethodResampled, opts); err == nil {
+		t.Error("expected error when the pool consumes all of M")
+	}
+}

@@ -242,7 +242,12 @@ func TestResampledFarCheaperThanOnDiskBuild(t *testing.T) {
 	d2.ResetCounters()
 	rtree.BuildOnDisk(pf2, rtree.ParamsForGeometry(env.g), 2000)
 	buildCost := d2.Counters().CostSeconds(disk.DefaultParams())
-	if res.IOSeconds*5 > buildCost {
+	// At this tiny scale (5% of TEXTURE60) the gap is ~5x rather than
+	// the paper's 1-2 orders of magnitude; the margin narrowed
+	// slightly when chunk-boundary page re-touches stopped being
+	// charged as seeks, which discounts the build's many chunked
+	// passes less than the prediction's two scans.
+	if res.IOSeconds*4 > buildCost {
 		t.Errorf("resampled cost %.2fs not well below on-disk build %.2fs", res.IOSeconds, buildCost)
 	}
 }

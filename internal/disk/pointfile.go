@@ -123,14 +123,20 @@ func (pf *PointFile) byteOffset(i int) int64 {
 	return page*pageBytes + slot*perPoint
 }
 
-// chargeRange accounts one sequential sweep over points [start, start+count).
-func (pf *PointFile) chargeRange(start, count int) {
+// chargeRange accounts one sequential sweep over points [start,
+// start+count). Writes are charged as such so a buffer pool can defer
+// their transfers to write-back.
+func (pf *PointFile) chargeRange(start, count int, write bool) {
 	if count <= 0 {
 		return
 	}
 	first := pf.pageOf(start)
 	last := pf.lastPageOf(start + count - 1)
-	pf.file.TouchPages(first, last-first+1)
+	if write {
+		pf.file.TouchPagesWrite(first, last-first+1)
+	} else {
+		pf.file.TouchPages(first, last-first+1)
+	}
 }
 
 // lastPageOf returns the file-relative page index of point i's last byte.
@@ -167,7 +173,7 @@ func (pf *PointFile) AppendAll(pts [][]float64) {
 		pf.writeRawPoint(pf.n, p)
 		pf.n++
 	}
-	pf.chargeRange(start, len(pts))
+	pf.chargeRange(start, len(pts), true)
 }
 
 // WriteAt overwrites the point at index i (a single-page access). The
@@ -178,7 +184,7 @@ func (pf *PointFile) WriteAt(i int, p []float64) {
 		panic(fmt.Sprintf("disk: point index %d outside capacity %d", i, pf.cap))
 	}
 	pf.writeRawPoint(i, p)
-	pf.chargeRange(i, 1)
+	pf.chargeRange(i, 1, true)
 }
 
 func (pf *PointFile) writeRawPoint(i int, p []float64) {
@@ -220,7 +226,7 @@ func (pf *PointFile) ReadRange(start, count int) [][]float64 {
 		pf.readRawPoint(start+i, p)
 		pts[i] = p
 	}
-	pf.chargeRange(start, count)
+	pf.chargeRange(start, count, false)
 	return pts
 }
 
@@ -233,7 +239,7 @@ func (pf *PointFile) WriteRange(start int, pts [][]float64) {
 	for i, p := range pts {
 		pf.writeRawPoint(start+i, p)
 	}
-	pf.chargeRange(start, len(pts))
+	pf.chargeRange(start, len(pts), true)
 }
 
 // ReadPoint reads the single point at index i (a random access).

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hdidx/internal/core"
+	"hdidx/internal/dataset"
+	"hdidx/internal/disk"
+	"hdidx/internal/obs"
+	"hdidx/internal/stats"
+)
+
+// BufferSweepRow is one buffer-pool budget of the sweep.
+type BufferSweepRow struct {
+	// Pages is the buffer-pool budget in pages.
+	Pages int
+	// EffM is the memory left for sampling after the pool's carve-out.
+	EffM int
+	// HUpper is the upper-tree height the predictor chose for EffM.
+	HUpper int
+	// Mean is the predicted leaf accesses per query.
+	Mean float64
+	// RelErr is the signed relative error against the measured index.
+	RelErr float64
+	// IO is the prediction's disk activity, IOSeconds its price.
+	IO        disk.Counters
+	IOSeconds float64
+}
+
+// BufferSweepResult holds the predicted cost of the resampled predictor
+// as a function of the buffer-pool size, at a fixed total memory budget.
+type BufferSweepResult struct {
+	Dataset      string
+	N            int
+	M            int
+	MeasuredMean float64
+	Rows         []BufferSweepRow
+}
+
+// BufferSweep runs the resampled predictor on the TEXTURE60 stand-in
+// under a sweep of buffer-pool budgets: uncached (the paper's cost
+// model), then doubling page budgets while the pool's carve-out stays
+// within half the memory budget M. M itself is held constant — the pool
+// competes with the sample for the same memory — so the sweep exposes
+// the trade between cache hit rate and sample size. Every budget reuses
+// the same dataset, workload and sampling seed; differences between
+// rows are attributable to the buffer pool alone.
+func BufferSweep(opt Options) (BufferSweepResult, error) {
+	opt = opt.withDefaults()
+	env := newEnvironment(dataset.Texture60, opt)
+	measured := stats.Mean(env.measured)
+	res := BufferSweepResult{
+		Dataset:      env.spec.Name,
+		N:            len(env.data),
+		M:            env.opt.M,
+		MeasuredMean: measured,
+	}
+	ppp := disk.PointsPerPage(diskParams(), len(env.data[0]))
+	budgets := []int{0}
+	for bp := 4; bp*ppp <= env.opt.M/2; bp *= 2 {
+		budgets = append(budgets, bp)
+	}
+	for _, bp := range budgets {
+		d := stageOnDisk(bp)
+		pf := disk.NewPointFile(d, len(env.data[0]), len(env.data))
+		pf.AppendAll(env.data)
+		d.DropBuffers()
+		d.ResetCounters()
+		cfg := env.config(0, 7)
+		cfg.Trace = obs.TraceIfEnabled(fmt.Sprintf("buffers.%s.%d", env.spec.Name, bp), d)
+		p, err := core.PredictResampled(pf, cfg)
+		if err != nil {
+			return BufferSweepResult{}, fmt.Errorf("buffersweep pages=%d: %w", bp, err)
+		}
+		res.Rows = append(res.Rows, BufferSweepRow{
+			Pages:     bp,
+			EffM:      env.opt.M - bp*ppp,
+			HUpper:    p.HUpper,
+			Mean:      p.Mean,
+			RelErr:    stats.RelativeError(p.Mean, measured),
+			IO:        p.IO,
+			IOSeconds: p.IOSeconds,
+		})
+	}
+	return res, nil
+}
+
+// String renders the sweep as a table.
+func (r BufferSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Buffer sweep — resampled prediction cost vs buffer-pool size (%s, N=%d, M=%d)\n",
+		r.Dataset, r.N, r.M)
+	fmt.Fprintf(&b, "measured: %.1f leaf accesses/query; pool pages are carved out of M\n", r.MeasuredMean)
+	fmt.Fprintf(&b, "%7s %8s %8s %8s %8s %10s %8s %8s %9s %9s\n",
+		"pages", "eff. M", "h_upper", "rel.err", "seeks", "transfers", "hits", "misses", "hit-rate", "I/O cost")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7d %8d %8d %+7.0f%% %8d %10d %8d %8d %8.1f%% %8.3fs\n",
+			row.Pages, row.EffM, row.HUpper, row.RelErr*100, row.IO.Seeks, row.IO.Transfers,
+			row.IO.Hits, row.IO.Misses, 100*row.IO.HitRate(), row.IOSeconds)
+	}
+	return b.String()
+}

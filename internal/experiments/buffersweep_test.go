@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBufferSweep(t *testing.T) {
+	res, err := BufferSweep(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("only %d rows; the sweep needs the uncached baseline plus buffered budgets", len(res.Rows))
+	}
+	base := res.Rows[0]
+	if base.Pages != 0 || base.IO.Hits != 0 || base.IO.Misses != 0 {
+		t.Errorf("baseline row must be uncached: %+v", base)
+	}
+	if base.EffM != res.M {
+		t.Errorf("baseline eff. M = %d, want the full budget %d", base.EffM, res.M)
+	}
+	if math.Abs(base.RelErr) > 0.5 {
+		t.Errorf("baseline relative error %+.0f%% out of band", base.RelErr*100)
+	}
+	hits := int64(0)
+	for _, row := range res.Rows[1:] {
+		if row.Pages <= 0 {
+			t.Errorf("non-baseline row with budget %d", row.Pages)
+		}
+		if row.EffM >= res.M {
+			t.Errorf("pages=%d: eff. M %d not carved out of M=%d", row.Pages, row.EffM, res.M)
+		}
+		if row.IO.Misses == 0 {
+			t.Errorf("pages=%d: no page touches recorded", row.Pages)
+		}
+		if row.IOSeconds <= 0 {
+			t.Errorf("pages=%d: non-positive I/O cost", row.Pages)
+		}
+		hits += row.IO.Hits
+	}
+	if hits == 0 {
+		t.Error("no buffered budget recorded a single cache hit")
+	}
+	s := res.String()
+	if !strings.Contains(s, "Buffer sweep") || !strings.Contains(s, "hit-rate") {
+		t.Errorf("String() missing title or columns:\n%s", s)
+	}
+}

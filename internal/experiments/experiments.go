@@ -37,6 +37,11 @@ type Options struct {
 	M int
 	// Seed drives all randomness.
 	Seed int64
+	// BufferPages is the simulated disk's buffer-pool page budget for
+	// the measured experiments (0 = uncached, the paper's cost model).
+	// The buffer-size sweep experiment ignores it and sweeps its own
+	// budgets.
+	BufferPages int
 }
 
 // withDefaults fills unset fields.
@@ -93,9 +98,10 @@ func newEnvironment(spec dataset.Spec, opt Options) *environment {
 	data := scaled.Generate(rng).Points
 	g := rtree.NewGeometry(len(data[0]))
 
-	d := disk.New(disk.DefaultParams())
+	d := stageOnDisk(opt.BufferPages)
 	pf := disk.NewPointFile(d, len(data[0]), len(data))
 	pf.AppendAll(data)
+	d.DropBuffers()
 	d.ResetCounters()
 
 	k := opt.K
@@ -159,9 +165,10 @@ func (e *environment) config(hUpper int, seedOffset int64) core.Config {
 // query counters separately — the "building cost + query cost" split
 // of Table 3.
 func (e *environment) measureOnDiskIO() (build, queries disk.Counters) {
-	d2 := disk.New(disk.DefaultParams())
+	d2 := stageOnDisk(e.opt.BufferPages)
 	pf2 := disk.NewPointFile(d2, len(e.data[0]), len(e.data))
 	pf2.AppendAll(e.data)
+	d2.DropBuffers()
 	d2.ResetCounters()
 	tree := rtree.BuildOnDiskTraced(pf2, rtree.ParamsForGeometry(e.g), e.opt.M,
 		obs.TraceIfEnabled("ondisk."+e.spec.Name, d2))
@@ -182,6 +189,13 @@ func (e *environment) measureOnDiskIO() (build, queries disk.Counters) {
 
 // diskParams returns the disk parameters experiments price with.
 func diskParams() disk.Params { return disk.DefaultParams() }
+
+// stageOnDisk returns a fresh disk for staging a dataset, buffered when
+// bufferPages is positive. Callers DropBuffers and ResetCounters after
+// staging so measurements start cold and from zero.
+func stageOnDisk(bufferPages int) *disk.Disk {
+	return disk.NewBuffered(disk.DefaultParams(), disk.BufferConfig{Pages: bufferPages})
+}
 
 // basicZeta picks the sample fraction for PredictBasic fallbacks: the
 // memory fraction, floored at 15% (below which Figure 2 shows the

@@ -5,13 +5,18 @@
 # acceptance criteria track. Interleaved -count runs and per-benchmark
 # minima keep the ratios robust against machine noise.
 #
-# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json]
+# Also runs the buffer-pool hit-rate sweep (BenchmarkBuffer in
+# internal/disk) and writes BENCH_buffer.json with the best ns/op and
+# the hit rate of each pool budget.
+#
+# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
 BENCHTIME="${BENCHTIME:-20x}"
 OUT="${OUT:-BENCH_kernels.json}"
+BUFOUT="${BUFOUT:-BENCH_buffer.json}"
 
 raw="$(go test -run='^$' -bench='^BenchmarkKernel' -benchtime="$BENCHTIME" -count="$COUNT" \
 	./internal/query/ ./internal/mbr/)"
@@ -51,3 +56,38 @@ END {
 
 echo "wrote $OUT:"
 cat "$OUT"
+
+bufraw="$(go test -run='^$' -bench='^BenchmarkBuffer' -benchtime="$BENCHTIME" -count="$COUNT" \
+	./internal/disk/)"
+echo "$bufraw"
+
+echo "$bufraw" | awk -v out="$BUFOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" '
+/^BenchmarkBuffer\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	ns = $3 + 0
+	if (!(name in best) || ns < best[name]) best[name] = ns
+	# the custom metric column: "<value> hit%"
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "hit%") hit[name] = $i + 0
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n" > out
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"count\": %d,\n", count > out
+	printf "  \"pools\": {\n" > out
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		label = name
+		sub(/^BenchmarkBuffer\//, "", label)
+		printf "    \"%s\": {\"best_ns_per_op\": %.0f, \"hit_rate_pct\": %.2f}%s\n", \
+			label, best[name], hit[name], (i < n ? "," : "") > out
+	}
+	printf "  }\n}\n" > out
+}'
+
+echo "wrote $BUFOUT:"
+cat "$BUFOUT"
