@@ -18,6 +18,7 @@ package hdidx
 // `go run ./cmd/experiments`.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -472,6 +473,33 @@ func BenchmarkAllDatasets(b *testing.B) {
 			}
 			b.ReportMetric(worst*100, "relerr_worst_%")
 		}
+	}
+}
+
+// BenchmarkSweepWorkers measures the table3 sweep wall-clock across
+// pool widths: the rows (resampled and cutoff predictions per h_upper,
+// plus the on-disk baseline) run as concurrent tasks on the shared
+// pool, each with its own staged disk and RNGs. The results are
+// invariant under the worker count (tested in internal/experiments);
+// only the wall-clock changes. scripts/bench.sh records the w1/wN
+// speedups in BENCH_build.json.
+func BenchmarkSweepWorkers(b *testing.B) {
+	// Warm the shared-environment cache so every width pays the same
+	// (zero) dataset-staging cost inside the timed region.
+	if _, err := experiments.Table3(benchOpt()); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("table3/w%d", w), func(b *testing.B) {
+			prev := SetWorkers(w)
+			defer SetWorkers(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table3(benchOpt()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"hdidx/internal/experiments"
 	"hdidx/internal/obs"
+	"hdidx/internal/par"
 	"hdidx/internal/prof"
 )
 
@@ -31,11 +32,15 @@ func main() {
 		m          = flag.Int("m", 0, "memory in points (default 10000*scale)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		bufPages   = flag.Int("buffer-pages", 0, "buffer-pool page budget for the measured experiments (0 = uncached)")
+		workers    = flag.Int("workers", 0, "worker-pool width for parallel builds and concurrent sweep rows (0 = GOMAXPROCS)")
 		trace      = flag.Bool("trace", false, "collect per-phase traces and print them after the runs")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *workers != 0 {
+		par.SetWorkers(*workers)
+	}
 	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed, BufferPages: *bufPages}
 	if *trace {
 		obs.Default.SetEnabled(true)

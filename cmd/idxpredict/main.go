@@ -31,6 +31,7 @@ func main() {
 		pageBytes  = flag.Int("page", 8192, "index page size in bytes")
 		radius     = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "worker-pool width for parallel build and scans (0 = GOMAXPROCS)")
 		measure    = flag.Bool("measure", false, "also build the full index in memory and measure the workload")
 		trace      = flag.Bool("trace", false, "print the per-phase cost breakdown of the prediction")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,7 +63,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	opts := hdidx.EstimateOptions{K: *k, Queries: *q, Memory: *m, Seed: *seed, BufferPages: *bufPages}
+	opts := hdidx.EstimateOptions{K: *k, Queries: *q, Memory: *m, Seed: *seed, BufferPages: *bufPages, Workers: *workers}
 	var est hdidx.Estimate
 	if *radius > 0 {
 		est, err = p.EstimateRange(hdidx.Method(*method), *radius, opts)

@@ -28,10 +28,20 @@ import (
 	"hdidx/internal/core"
 	"hdidx/internal/disk"
 	"hdidx/internal/obs"
+	"hdidx/internal/par"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
 	"hdidx/internal/stats"
 )
+
+// Workers returns the effective worker-pool width of the process, and
+// SetWorkers overrides it (n <= 0 restores the GOMAXPROCS default),
+// returning the previous override. They expose the shared pool behind
+// the parallel bulk loader and the predictors' CPU-bound stages; the
+// CLIs' -workers flags call SetWorkers at startup. Worker counts never
+// change results, only wall-clock time.
+func Workers() int         { return par.Workers() }
+func SetWorkers(n int) int { return par.SetWorkers(n) }
 
 // ErrFlatTree reports that the modeled index is too flat for the
 // restricted-memory methods (MethodCutoff, MethodResampled): no
@@ -246,6 +256,13 @@ type EstimateOptions struct {
 	// shrinks by the cache's point equivalent. Ignored by MethodBasic,
 	// which does no disk I/O.
 	BufferPages int
+	// Workers caps the worker pool the estimate's CPU-bound stages
+	// (parallel bulk loads, sphere scans, point classification) fan
+	// out on. 0 (the default) uses GOMAXPROCS. The setting is applied
+	// process-wide for the duration of the call and restored after;
+	// results are identical for every worker count — parallelism
+	// changes wall-clock time, never values.
+	Workers int
 }
 
 func (o EstimateOptions) withDefaults() (EstimateOptions, error) {
@@ -263,6 +280,9 @@ func (o EstimateOptions) withDefaults() (EstimateOptions, error) {
 	}
 	if o.BufferPages < 0 {
 		return o, fmt.Errorf("hdidx: negative buffer-pool budget %d", o.BufferPages)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("hdidx: negative worker count %d", o.Workers)
 	}
 	if o.K == 0 {
 		o.K = 21
@@ -369,6 +389,7 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 	if err != nil {
 		return Estimate{}, err
 	}
+	defer applyWorkers(o)()
 	rng := rand.New(rand.NewSource(o.Seed))
 	k := o.K
 	if k > len(p.points) {
@@ -427,6 +448,19 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 		return Estimate{}, err
 	}
 	return estimateOf(method, pr), nil
+}
+
+// applyWorkers installs the estimate's worker-count override and
+// returns the function restoring the previous value. Because the
+// override is process-wide, concurrent estimates with different
+// Workers values see whichever was set last — that affects scheduling
+// width only, never results.
+func applyWorkers(o EstimateOptions) func() {
+	if o.Workers == 0 {
+		return func() {}
+	}
+	prev := par.SetWorkers(o.Workers)
+	return func() { par.SetWorkers(prev) }
 }
 
 // stageDataset stores the dataset on a fresh simulated disk for the
@@ -494,6 +528,7 @@ func (p *Predictor) EstimateRange(method Method, radius float64, opts EstimateOp
 	if err != nil {
 		return Estimate{}, err
 	}
+	defer applyWorkers(o)()
 	rng := rand.New(rand.NewSource(o.Seed))
 
 	if method == MethodBasic {
@@ -557,6 +592,7 @@ func (p *Predictor) MeasureRangeAccesses(radius float64, opts EstimateOptions) (
 	if err != nil {
 		return 0, err
 	}
+	defer applyWorkers(o)()
 	rng := rand.New(rand.NewSource(o.Seed))
 	spheres := make([]query.Sphere, o.Queries)
 	for i := range spheres {
@@ -633,6 +669,7 @@ func (p *Predictor) MeasureKNNAccesses(opts EstimateOptions) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer applyWorkers(o)()
 	rng := rand.New(rand.NewSource(o.Seed))
 	k := o.K
 	if k > len(p.points) {

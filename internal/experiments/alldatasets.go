@@ -43,8 +43,11 @@ func AllDatasets(opt Options) (AllDatasetsResult, error) {
 		dataset.Color64, dataset.Texture48, dataset.Texture60,
 		dataset.Isolet617, dataset.Stock360,
 	}
-	var res AllDatasetsResult
-	for _, spec := range specs {
+	// Each dataset is a fully independent environment + prediction;
+	// fan the five out across the pool.
+	res := AllDatasetsResult{Rows: make([]DatasetRow, len(specs))}
+	err := runTasks(len(specs), func(i int) error {
+		spec := specs[i]
 		o := opt
 		if spec.N < 20000 {
 			// The small high-dimensional sets run at full cardinality,
@@ -56,16 +59,17 @@ func AllDatasets(opt Options) (AllDatasetsResult, error) {
 			o.Scale = 1
 			o.M = spec.N / 2
 		}
-		env := newEnvironment(spec, o)
+		env := sharedEnvironment(spec, o)
 		measured := stats.Mean(env.measured)
 		topo := rtree.NewTopology(len(env.data), env.g)
 
 		var predicted float64
 		var method string
 		if topo.Height >= 3 && o.M < len(env.data) {
-			p, err := core.PredictResampled(env.pf, env.config(0, 500))
+			d, pf := env.taskFile(env.opt.BufferPages)
+			p, err := core.PredictResampled(pf, env.config(0, 500, d))
 			if err != nil {
-				return AllDatasetsResult{}, fmt.Errorf("alldatasets %s: %w", spec.Name, err)
+				return fmt.Errorf("alldatasets %s: %w", spec.Name, err)
 			}
 			predicted, method = p.Mean, "resampled"
 		} else {
@@ -73,18 +77,22 @@ func AllDatasets(opt Options) (AllDatasetsResult, error) {
 			p, err := core.PredictBasic(env.data, zeta, true, env.g, env.spheres,
 				rand.New(rand.NewSource(o.Seed+501)))
 			if err != nil {
-				return AllDatasetsResult{}, fmt.Errorf("alldatasets %s basic: %w", spec.Name, err)
+				return fmt.Errorf("alldatasets %s basic: %w", spec.Name, err)
 			}
 			predicted, method = p.Mean, "basic"
 		}
-		res.Rows = append(res.Rows, DatasetRow{
+		res.Rows[i] = DatasetRow{
 			Name:     env.spec.Name,
 			N:        len(env.data),
 			Dim:      env.g.Dim,
 			Method:   method,
 			Measured: measured,
 			RelErr:   stats.RelativeError(predicted, measured),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return AllDatasetsResult{}, err
 	}
 	return res, nil
 }

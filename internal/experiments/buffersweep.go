@@ -48,7 +48,7 @@ type BufferSweepResult struct {
 // rows are attributable to the buffer pool alone.
 func BufferSweep(opt Options) (BufferSweepResult, error) {
 	opt = opt.withDefaults()
-	env := newEnvironment(dataset.Texture60, opt)
+	env := sharedEnvironment(dataset.Texture60, opt)
 	measured := stats.Mean(env.measured)
 	res := BufferSweepResult{
 		Dataset:      env.spec.Name,
@@ -61,19 +61,20 @@ func BufferSweep(opt Options) (BufferSweepResult, error) {
 	for bp := 4; bp*ppp <= env.opt.M/2; bp *= 2 {
 		budgets = append(budgets, bp)
 	}
-	for _, bp := range budgets {
-		d := stageOnDisk(bp)
-		pf := disk.NewPointFile(d, len(env.data[0]), len(env.data))
-		pf.AppendAll(env.data)
-		d.DropBuffers()
-		d.ResetCounters()
-		cfg := env.config(0, 7)
+	// The budgets differ only in the staged disk's buffer pool, so the
+	// rows share the environment and run as pool tasks, one private
+	// disk per budget.
+	res.Rows = make([]BufferSweepRow, len(budgets))
+	err := runTasks(len(budgets), func(i int) error {
+		bp := budgets[i]
+		d, pf := env.taskFile(bp)
+		cfg := env.config(0, 7, d)
 		cfg.Trace = obs.TraceIfEnabled(fmt.Sprintf("buffers.%s.%d", env.spec.Name, bp), d)
 		p, err := core.PredictResampled(pf, cfg)
 		if err != nil {
-			return BufferSweepResult{}, fmt.Errorf("buffersweep pages=%d: %w", bp, err)
+			return fmt.Errorf("buffersweep pages=%d: %w", bp, err)
 		}
-		res.Rows = append(res.Rows, BufferSweepRow{
+		res.Rows[i] = BufferSweepRow{
 			Pages:     bp,
 			EffM:      env.opt.M - bp*ppp,
 			HUpper:    p.HUpper,
@@ -81,7 +82,11 @@ func BufferSweep(opt Options) (BufferSweepResult, error) {
 			RelErr:    stats.RelativeError(p.Mean, measured),
 			IO:        p.IO,
 			IOSeconds: p.IOSeconds,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return BufferSweepResult{}, err
 	}
 	return res, nil
 }

@@ -67,16 +67,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// environment bundles a generated dataset stored on a simulated disk
-// with a density-biased query workload and (optionally) the measured
-// on-disk index.
+// environment bundles a generated dataset with a density-biased query
+// workload and the measured ground-truth index. It is immutable after
+// construction — concurrent sweep tasks share it read-only and stage
+// their own simulated disks with taskFile — which is also what lets
+// sharedEnvironment cache environments across drivers.
 type environment struct {
 	opt         Options
 	spec        dataset.Spec
 	data        [][]float64
 	g           rtree.Geometry
-	d           *disk.Disk
-	pf          *disk.PointFile
 	indices     []int
 	queryPoints [][]float64
 	spheres     []query.Sphere
@@ -84,10 +84,9 @@ type environment struct {
 	tree        *rtree.Tree
 }
 
-// newEnvironment generates the dataset, stores it on a fresh simulated
-// disk, draws the density-biased query workload, and measures the
-// ground-truth per-query leaf accesses on an in-memory build of the
-// full index.
+// newEnvironment generates the dataset, draws the density-biased query
+// workload, and measures the ground-truth per-query leaf accesses on
+// an in-memory build of the full index.
 func newEnvironment(spec dataset.Spec, opt Options) *environment {
 	opt = opt.withDefaults()
 	scaled := spec
@@ -97,12 +96,6 @@ func newEnvironment(spec dataset.Spec, opt Options) *environment {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	data := scaled.Generate(rng).Points
 	g := rtree.NewGeometry(len(data[0]))
-
-	d := stageOnDisk(opt.BufferPages)
-	pf := disk.NewPointFile(d, len(data[0]), len(data))
-	pf.AppendAll(data)
-	d.DropBuffers()
-	d.ResetCounters()
 
 	k := opt.K
 	if k > len(data) {
@@ -129,8 +122,6 @@ func newEnvironment(spec dataset.Spec, opt Options) *environment {
 		spec:        scaled,
 		data:        data,
 		g:           g,
-		d:           d,
-		pf:          pf,
 		indices:     indices,
 		queryPoints: queryPoints,
 		spheres:     spheres,
@@ -139,11 +130,28 @@ func newEnvironment(spec dataset.Spec, opt Options) *environment {
 	}
 }
 
-// config builds a predictor Config over this environment. When the
-// obs default registry is enabled (cmd/experiments -trace), each
-// config carries a fresh trace named after the dataset so the
-// per-phase breakdown of every predictor run lands in the registry.
-func (e *environment) config(hUpper int, seedOffset int64) core.Config {
+// taskFile stages the environment's dataset on a fresh simulated disk
+// for one prediction task, cold and with counters at zero. Disks are
+// stateful (head position, counters, buffer pool), so concurrent tasks
+// each stage their own from the shared in-memory dataset instead of
+// sharing one disk or re-generating the points.
+func (e *environment) taskFile(bufferPages int) (*disk.Disk, *disk.PointFile) {
+	d := stageOnDisk(bufferPages)
+	pf := disk.NewPointFile(d, len(e.data[0]), len(e.data))
+	pf.AppendAll(e.data)
+	d.DropBuffers()
+	d.ResetCounters()
+	return d, pf
+}
+
+// config builds a predictor Config over this environment, reading from
+// the disk d the caller staged (taskFile). When the obs default
+// registry is enabled (cmd/experiments -trace), each config carries a
+// fresh trace named after the dataset so the per-phase breakdown of
+// every predictor run lands in the registry. The predictor's RNG is
+// private to the config, derived from (seed, seedOffset) — callers
+// give every concurrent task a distinct offset.
+func (e *environment) config(hUpper int, seedOffset int64, d *disk.Disk) core.Config {
 	k := e.opt.K
 	if k > len(e.data) {
 		k = len(e.data)
@@ -155,7 +163,7 @@ func (e *environment) config(hUpper int, seedOffset int64) core.Config {
 		QueryIndices: e.indices,
 		HUpper:       hUpper,
 		Rng:          rand.New(rand.NewSource(e.opt.Seed + 1000 + seedOffset)),
-		Trace:        obs.TraceIfEnabled("predict."+e.spec.Name, e.d),
+		Trace:        obs.TraceIfEnabled("predict."+e.spec.Name, d),
 	}
 }
 
@@ -165,11 +173,7 @@ func (e *environment) config(hUpper int, seedOffset int64) core.Config {
 // query counters separately — the "building cost + query cost" split
 // of Table 3.
 func (e *environment) measureOnDiskIO() (build, queries disk.Counters) {
-	d2 := stageOnDisk(e.opt.BufferPages)
-	pf2 := disk.NewPointFile(d2, len(e.data[0]), len(e.data))
-	pf2.AppendAll(e.data)
-	d2.DropBuffers()
-	d2.ResetCounters()
+	d2, pf2 := e.taskFile(e.opt.BufferPages)
 	tree := rtree.BuildOnDiskTraced(pf2, rtree.ParamsForGeometry(e.g), e.opt.M,
 		obs.TraceIfEnabled("ondisk."+e.spec.Name, d2))
 	build = d2.Counters()

@@ -61,9 +61,13 @@ func Fig13(opt Options, pageKBs []int) (Fig13Result, error) {
 	}
 	spheres := query.ComputeSpheres(data, queryPoints, k)
 
-	res := Fig13Result{Dataset: scaled.Name}
-	bestMeasured, bestPredicted := 0.0, 0.0
-	for _, kb := range pageKBs {
+	// One dataset and one workload, shared read-only; each page size
+	// is an independent build+measure+predict task on the pool. Only
+	// the row computations fan out — the best-of scan below stays on
+	// the caller so its ties resolve in row order, as sequentially.
+	res := Fig13Result{Dataset: scaled.Name, Rows: make([]Fig13Row, len(pageKBs))}
+	err := runTasks(len(pageKBs), func(i int) error {
+		kb := pageKBs[i]
 		params := disk.DefaultParams().WithPageBytes(kb * 1024)
 		g := rtree.Geometry{Dim: len(data[0]), PageBytes: kb * 1024, Utilization: rtree.DefaultUtilization}
 
@@ -92,7 +96,7 @@ func Fig13(opt Options, pageKBs []int) (Fig13Result, error) {
 			}
 			p, err := core.PredictResampled(pf, cfg)
 			if err != nil {
-				return Fig13Result{}, fmt.Errorf("fig13 page=%dKB: %w", kb, err)
+				return fmt.Errorf("fig13 page=%dKB: %w", kb, err)
 			}
 			predicted = p.Mean
 		} else {
@@ -100,25 +104,31 @@ func Fig13(opt Options, pageKBs []int) (Fig13Result, error) {
 			p, err := core.PredictBasic(data, zeta, true, g, spheres,
 				rand.New(rand.NewSource(opt.Seed+int64(kb))))
 			if err != nil {
-				return Fig13Result{}, fmt.Errorf("fig13 page=%dKB basic: %w", kb, err)
+				return fmt.Errorf("fig13 page=%dKB basic: %w", kb, err)
 			}
 			predicted = p.Mean
 		}
 
 		perAccess := params.SeekSeconds + params.XferSeconds
-		row := Fig13Row{
+		res.Rows[i] = Fig13Row{
 			PageKB:            kb,
 			MeasuredAccesses:  measured,
 			PredictedAccesses: predicted,
 			MeasuredSeconds:   measured * perAccess,
 			PredictedSeconds:  predicted * perAccess,
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	bestMeasured, bestPredicted := 0.0, 0.0
+	for _, row := range res.Rows {
 		if res.BestMeasuredKB == 0 || row.MeasuredSeconds < bestMeasured {
-			res.BestMeasuredKB, bestMeasured = kb, row.MeasuredSeconds
+			res.BestMeasuredKB, bestMeasured = row.PageKB, row.MeasuredSeconds
 		}
 		if res.BestPredictedKB == 0 || row.PredictedSeconds < bestPredicted {
-			res.BestPredictedKB, bestPredicted = kb, row.PredictedSeconds
+			res.BestPredictedKB, bestPredicted = row.PageKB, row.PredictedSeconds
 		}
 	}
 	return res, nil

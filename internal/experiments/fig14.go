@@ -65,11 +65,17 @@ func Fig14(opt Options, dims []int) (Fig14Result, error) {
 	}
 	fullSpheres := query.ComputeSpheres(data, queryPoints, k)
 
-	res := Fig14Result{Dataset: scaled.Name}
 	for _, d := range dims {
 		if d < 1 || d > fullDim {
 			return Fig14Result{}, fmt.Errorf("fig14: dimensionality %d outside [1, %d]", d, fullDim)
 		}
+	}
+	// Each indexed dimensionality is an independent projection, build,
+	// and prediction; the rows run as pool tasks over the shared data
+	// and full-space spheres.
+	res := Fig14Result{Dataset: scaled.Name, Rows: make([]Fig14Row, len(dims))}
+	err := runTasks(len(dims), func(i int) error {
+		d := dims[i]
 		proj, project, lookup := query.PrefixProjector(data, d)
 		spheres := make([]query.Sphere, len(fullSpheres))
 		for i, s := range fullSpheres {
@@ -99,19 +105,23 @@ func Fig14(opt Options, dims []int) (Fig14Result, error) {
 		sampleRng := rand.New(rand.NewSource(opt.Seed + int64(d)))
 		p, err := core.PredictBasic(proj, zeta, true, g, spheres, sampleRng)
 		if err != nil {
-			return Fig14Result{}, fmt.Errorf("fig14 dim=%d: %w", d, err)
+			return fmt.Errorf("fig14 dim=%d: %w", d, err)
 		}
 		sample := dataset.SampleExact(proj, int(float64(len(proj))*zeta+0.5),
 			rand.New(rand.NewSource(opt.Seed+int64(d))))
 		predictedObjects := predictObjectAccesses(sample, spheres, zeta)
 
-		res.Rows = append(res.Rows, Fig14Row{
+		res.Rows[i] = Fig14Row{
 			IndexDims:        d,
 			Measured:         measured,
 			Predicted:        p.Mean,
 			MeasuredObjects:  measuredObjects,
 			PredictedObjects: predictedObjects,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Fig14Result{}, err
 	}
 	return res, nil
 }

@@ -31,31 +31,41 @@ type Fig2Result struct {
 // COLOR64 stand-in.
 func Fig2(opt Options) (Fig2Result, error) {
 	opt = opt.withDefaults()
-	env := newEnvironment(dataset.Color64, opt)
+	env := sharedEnvironment(dataset.Color64, opt)
 	measured := stats.Mean(env.measured)
 
 	minZeta := 1.0 / float64(env.g.EffDataCapacity())
-	fractions := []float64{0.04, 0.06, 0.10, 0.15, 0.25, 0.50, 0.75, 1.00}
-	res := Fig2Result{Dataset: env.spec.Name, MeasuredMean: measured}
-	for _, zeta := range fractions {
-		if zeta < minZeta {
-			continue
+	var fractions []float64
+	for _, zeta := range []float64{0.04, 0.06, 0.10, 0.15, 0.25, 0.50, 0.75, 1.00} {
+		if zeta >= minZeta {
+			fractions = append(fractions, zeta)
 		}
+	}
+	// Every sample size is an independent pair of basic-model runs on
+	// the shared in-memory environment; each task recreates the same
+	// private RNGs the sequential loop used per row.
+	res := Fig2Result{Dataset: env.spec.Name, MeasuredMean: measured, Rows: make([]Fig2Row, len(fractions))}
+	err := runTasks(len(fractions), func(i int) error {
+		zeta := fractions[i]
 		rng := rand.New(rand.NewSource(opt.Seed + 7))
 		comp, err := core.PredictBasic(env.data, zeta, true, env.g, env.spheres, rng)
 		if err != nil {
-			return Fig2Result{}, fmt.Errorf("fig2 zeta=%g compensated: %w", zeta, err)
+			return fmt.Errorf("fig2 zeta=%g compensated: %w", zeta, err)
 		}
 		rng = rand.New(rand.NewSource(opt.Seed + 7))
 		raw, err := core.PredictBasic(env.data, zeta, false, env.g, env.spheres, rng)
 		if err != nil {
-			return Fig2Result{}, fmt.Errorf("fig2 zeta=%g uncompensated: %w", zeta, err)
+			return fmt.Errorf("fig2 zeta=%g uncompensated: %w", zeta, err)
 		}
-		res.Rows = append(res.Rows, Fig2Row{
+		res.Rows[i] = Fig2Row{
 			SampleFraction:   zeta,
 			ErrCompensated:   stats.RelativeError(comp.Mean, measured),
 			ErrUncompensated: stats.RelativeError(raw.Mean, measured),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Fig2Result{}, err
 	}
 	return res, nil
 }

@@ -35,7 +35,7 @@ type RangeResult struct {
 // selectivities bracket the k-NN regime).
 func RangeQueries(opt Options, radii []float64) (RangeResult, error) {
 	opt = opt.withDefaults()
-	env := newEnvironment(dataset.Texture60, opt)
+	env := sharedEnvironment(dataset.Texture60, opt)
 	if len(radii) == 0 {
 		var mean float64
 		for _, s := range env.spheres {
@@ -44,29 +44,40 @@ func RangeQueries(opt Options, radii []float64) (RangeResult, error) {
 		mean /= float64(len(env.spheres))
 		radii = []float64{mean * 0.5, mean * 0.75, mean, mean * 1.5, mean * 2}
 	}
-	res := RangeResult{Dataset: env.spec.Name}
-	for i, r := range radii {
+	for _, r := range radii {
 		if r <= 0 {
 			return RangeResult{}, fmt.Errorf("range: radius %g must be positive", r)
 		}
+	}
+	// Each radius is an independent measure+predict pair; the rows run
+	// as pool tasks sharing the environment's dataset and ground-truth
+	// tree read-only, each predicting against its own staged disk.
+	res := RangeResult{Dataset: env.spec.Name, Rows: make([]RangeRow, len(radii))}
+	err := runTasks(len(radii), func(i int) error {
+		r := radii[i]
 		spheres := make([]query.Sphere, len(env.queryPoints))
 		for j, qp := range env.queryPoints {
 			spheres[j] = query.Sphere{Center: qp, Radius: r}
 		}
 		measured := stats.Mean(query.MeasureLeafAccesses(env.tree, spheres))
 
-		cfg := env.config(0, 200+int64(i))
+		d, pf := env.taskFile(env.opt.BufferPages)
+		cfg := env.config(0, 200+int64(i), d)
 		cfg.FixedRadius = r
-		p, err := core.PredictResampled(env.pf, cfg)
+		p, err := core.PredictResampled(pf, cfg)
 		if err != nil {
-			return RangeResult{}, fmt.Errorf("range radius %g: %w", r, err)
+			return fmt.Errorf("range radius %g: %w", r, err)
 		}
-		res.Rows = append(res.Rows, RangeRow{
+		res.Rows[i] = RangeRow{
 			Radius:    r,
 			Measured:  measured,
 			Predicted: p.Mean,
 			RelErr:    stats.RelativeError(p.Mean, measured),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return RangeResult{}, err
 	}
 	return res, nil
 }

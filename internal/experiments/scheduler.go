@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+
+	"hdidx/internal/dataset"
+	"hdidx/internal/par"
+)
+
+// The sweep drivers run their independent rows as tasks on the shared
+// worker pool (internal/par). The scheduling contract that keeps every
+// result identical regardless of execution order:
+//
+//   - Each task owns its row: it writes result slot i and nothing
+//     else, so no synchronization of results is needed beyond the
+//     pool's completion barrier.
+//   - Each task that predicts stages its own simulated disk from the
+//     environment's shared dataset (environment.taskFile). The
+//     expensive state — generated points, query spheres, measured
+//     ground truth, the full in-memory index — is shared read-only;
+//     the stateful disk (head position, I/O counters, buffer pool) is
+//     never shared, so per-prediction counter deltas stay exact.
+//   - Each task derives any rand.Rand it needs from (root seed, task
+//     index) — rand.Rand is not goroutine-safe and must never be
+//     reachable from two tasks. Existing drivers keep their historical
+//     per-row seed offsets (environment.config's seedOffset); new call
+//     sites use taskSeed.
+//   - Errors are collected per task and the lowest-index one is
+//     returned, matching what the sequential loop would have reported
+//     first.
+
+// runTasks runs n independent sweep tasks on the shared worker pool
+// and returns the lowest-index error. A panic in a task is re-raised
+// on the caller as a *par.WorkerPanic.
+func runTasks(n int, f func(i int) error) error {
+	return par.FirstError(n, f)
+}
+
+// taskSeed mixes a root seed with a task index into an independent
+// stream seed (splitmix64 finalizer), so per-task RNGs are decorrelated
+// even for adjacent indices and reproducible regardless of which worker
+// runs the task.
+func taskSeed(root int64, task int64) int64 {
+	z := uint64(root) + (uint64(task)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// taskRng returns a private rand.Rand for one sweep task.
+func taskRng(root int64, task int64) *rand.Rand {
+	return rand.New(rand.NewSource(taskSeed(root, task)))
+}
+
+// envCache shares fully-constructed environments between drivers of
+// one process. Within `-run all`, table3, the correlation diagrams,
+// the range-query sweep, the buffer sweep, and table4 all stand up the
+// TEXTURE60 environment with the same options; generating the dataset,
+// the workload, and the measured ground-truth index once covers all of
+// them. Safe because environments are immutable after construction:
+// predictions stage their own disks (taskFile) and never write through
+// the cached state. Keyed by (spec name, options) — both comparable —
+// and deterministic: a cache hit returns exactly the environment a
+// fresh construction would.
+var envCache struct {
+	sync.Mutex
+	m map[envKey]*envEntry
+}
+
+type envKey struct {
+	spec string
+	opt  Options
+}
+
+// envEntry delays construction out of the cache lock's critical
+// section (per-key sync.Once), so concurrent tasks standing up
+// different environments — the all-datasets sweep — build them in
+// parallel while two requests for the same key still construct once.
+type envEntry struct {
+	once sync.Once
+	env  *environment
+}
+
+// sharedEnvironment returns the process-wide cached environment for
+// (spec, opt), constructing it on first use.
+func sharedEnvironment(spec dataset.Spec, opt Options) *environment {
+	key := envKey{spec: spec.Name, opt: opt.withDefaults()}
+	envCache.Lock()
+	if envCache.m == nil {
+		envCache.m = make(map[envKey]*envEntry)
+	}
+	e, ok := envCache.m[key]
+	if !ok {
+		e = &envEntry{}
+		envCache.m[key] = e
+	}
+	envCache.Unlock()
+	e.once.Do(func() { e.env = newEnvironment(spec, opt) })
+	return e.env
+}

@@ -47,52 +47,64 @@ type Table3Result struct {
 // admissible h_upper values.
 func Table3(opt Options) (Table3Result, error) {
 	opt = opt.withDefaults()
-	env := newEnvironment(dataset.Texture60, opt)
+	env := sharedEnvironment(dataset.Texture60, opt)
 	return table3On(env)
 }
 
 // table3On runs the Table 3 protocol on an arbitrary environment (the
-// uniform-data sanity check of Section 5.2 reuses it).
+// uniform-data sanity check of Section 5.2 reuses it). The on-disk
+// measurement and every prediction row are independent, so all of them
+// run as concurrent tasks on the worker pool; each task stages its own
+// disk and derives its own RNG, so the rows are exactly the ones the
+// sequential loop produced.
 func table3On(env *environment) (Table3Result, error) {
 	measured := stats.Mean(env.measured)
 	topo := rtree.NewTopology(len(env.data), env.g)
-	build, queries := env.measureOnDiskIO()
 
 	res := Table3Result{
-		Dataset:       env.spec.Name,
-		N:             len(env.data),
-		M:             env.opt.M,
-		Height:        topo.Height,
-		MeasuredMean:  measured,
-		OnDiskBuild:   build,
-		OnDiskQueries: queries,
+		Dataset:      env.spec.Name,
+		N:            len(env.data),
+		M:            env.opt.M,
+		Height:       topo.Height,
+		MeasuredMean: measured,
 	}
 
 	min, max, err := topo.HUpperBounds(env.opt.M, true)
 	if err != nil {
 		return Table3Result{}, fmt.Errorf("table3: %w", err)
 	}
-	for h := min; h <= max; h++ {
-		p, err := core.PredictResampled(env.pf, env.config(h, int64(h)))
-		if err != nil {
-			return Table3Result{}, fmt.Errorf("table3 resampled h=%d: %w", h, err)
-		}
-		res.Rows = append(res.Rows, predictionRow(p, env.measured, measured))
-	}
-	cmin, cmax, err := topo.HUpperBounds(env.opt.M, false)
-	if err != nil {
+	if _, _, err := topo.HUpperBounds(env.opt.M, false); err != nil {
 		return Table3Result{}, fmt.Errorf("table3 cutoff bounds: %w", err)
 	}
-	if cmin < min {
-		cmin = min // keep the comparison over the same h range plus any extra headroom
-	}
-	_ = cmax
-	for h := min; h <= max; h++ {
-		p, err := core.PredictCutoff(env.pf, env.config(h, 100+int64(h)))
-		if err != nil {
-			return Table3Result{}, fmt.Errorf("table3 cutoff h=%d: %w", h, err)
+
+	// Task layout: [0, span) resampled rows, [span, 2*span) cutoff
+	// rows, last task the on-disk build+query measurement.
+	span := max - min + 1
+	res.Rows = make([]Table3Row, 2*span)
+	err = runTasks(2*span+1, func(i int) error {
+		if i == 2*span {
+			res.OnDiskBuild, res.OnDiskQueries = env.measureOnDiskIO()
+			return nil
 		}
-		res.Rows = append(res.Rows, predictionRow(p, env.measured, measured))
+		h := min + i%span
+		d, pf := env.taskFile(env.opt.BufferPages)
+		if i < span {
+			p, err := core.PredictResampled(pf, env.config(h, int64(h), d))
+			if err != nil {
+				return fmt.Errorf("table3 resampled h=%d: %w", h, err)
+			}
+			res.Rows[i] = predictionRow(p, env.measured, measured)
+			return nil
+		}
+		p, err := core.PredictCutoff(pf, env.config(h, 100+int64(h), d))
+		if err != nil {
+			return fmt.Errorf("table3 cutoff h=%d: %w", h, err)
+		}
+		res.Rows[i] = predictionRow(p, env.measured, measured)
+		return nil
+	})
+	if err != nil {
+		return Table3Result{}, err
 	}
 	return res, nil
 }
@@ -156,16 +168,25 @@ type CorrelationResult struct {
 // admissible (the result's M reports the value used).
 func Correlation(opt Options, hUpper int) (CorrelationResult, error) {
 	opt = opt.withDefaults()
-	env := newEnvironment(dataset.Texture60, opt)
-	topo := rtree.NewTopology(len(env.data), env.g)
+	// Grow M to an admissible value before standing up the environment:
+	// the bounds depend only on the (known) scaled cardinality and page
+	// geometry, and resolving M first keeps the cached environment
+	// immutable — and lets runs whose M needed no growth share the
+	// environment with table3.
+	scaled := dataset.Texture60
+	if opt.Scale != 1 {
+		scaled = scaled.Scaled(opt.Scale)
+	}
+	topo := rtree.NewTopology(scaled.N, rtree.NewGeometry(scaled.Dim))
 	for attempt := 0; attempt < 12; attempt++ {
-		if _, _, err := topo.HUpperBounds(env.opt.M, true); err == nil {
+		if _, _, err := topo.HUpperBounds(opt.M, true); err == nil {
 			break
 		}
-		env.opt.M = env.opt.M * 3 / 2
+		opt.M = opt.M * 3 / 2
 	}
-	opt.M = env.opt.M
-	p, err := core.PredictResampled(env.pf, env.config(hUpper, 42))
+	env := sharedEnvironment(dataset.Texture60, opt)
+	d, pf := env.taskFile(env.opt.BufferPages)
+	p, err := core.PredictResampled(pf, env.config(hUpper, 42, d))
 	if err != nil {
 		return CorrelationResult{}, fmt.Errorf("correlation: %w", err)
 	}

@@ -31,7 +31,7 @@ type Table4Result struct {
 // Table4 runs the model comparison of Section 5.3.
 func Table4(opt Options) (Table4Result, error) {
 	opt = opt.withDefaults()
-	env := newEnvironment(dataset.Texture60, opt)
+	env := sharedEnvironment(dataset.Texture60, opt)
 	measured := stats.Mean(env.measured)
 
 	k := opt.K
@@ -66,7 +66,8 @@ func Table4(opt Options) (Table4Result, error) {
 	if err != nil {
 		return Table4Result{}, fmt.Errorf("table4 histogram model: %w", err)
 	}
-	rs, err := core.PredictResampled(env.pf, env.config(0, 4))
+	d, pf := env.taskFile(env.opt.BufferPages)
+	rs, err := core.PredictResampled(pf, env.config(0, 4, d))
 	if err != nil {
 		return Table4Result{}, fmt.Errorf("table4 resampled: %w", err)
 	}
@@ -115,16 +116,31 @@ type Uniform8DResult struct {
 func Uniform8D(opt Options) (Uniform8DResult, error) {
 	opt = opt.withDefaults()
 	spec := dataset.Spec{Name: "UNIFORM8", N: 100000, Dim: 8}
-	env := newEnvironment(spec, opt)
+	env := sharedEnvironment(spec, opt)
 	measured := stats.Mean(env.measured)
 
-	rs, err := core.PredictResampled(env.pf, env.config(0, 5))
+	// The two predictions are independent; run them as pool tasks, each
+	// on its own staged disk.
+	var rs, cu core.Prediction
+	err := runTasks(2, func(i int) error {
+		d, pf := env.taskFile(env.opt.BufferPages)
+		if i == 0 {
+			p, err := core.PredictResampled(pf, env.config(0, 5, d))
+			if err != nil {
+				return fmt.Errorf("uniform8d resampled: %w", err)
+			}
+			rs = p
+			return nil
+		}
+		p, err := core.PredictCutoff(pf, env.config(0, 6, d))
+		if err != nil {
+			return fmt.Errorf("uniform8d cutoff: %w", err)
+		}
+		cu = p
+		return nil
+	})
 	if err != nil {
-		return Uniform8DResult{}, fmt.Errorf("uniform8d resampled: %w", err)
-	}
-	cu, err := core.PredictCutoff(env.pf, env.config(0, 6))
-	if err != nil {
-		return Uniform8DResult{}, fmt.Errorf("uniform8d cutoff: %w", err)
+		return Uniform8DResult{}, err
 	}
 	return Uniform8DResult{
 		N:            len(env.data),

@@ -1,71 +1,19 @@
 package query
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "hdidx/internal/par"
 
-// chunksPerWorker controls the scheduling granularity of the parallel
-// fan-out: the index range is cut into about chunksPerWorker chunks
-// per worker, enough slack for dynamic load balancing (query costs
-// vary with early-exit behavior) while keeping the scheduling cost at
-// one atomic add per chunk instead of one channel send per index.
-const chunksPerWorker = 8
+// ParallelFor runs f(i) for i in [0, n) on the shared worker pool
+// (internal/par) and waits for completion. Every index is visited
+// exactly once, in no particular order. It is exported for the
+// predictors' CPU-bound loops (sphere scans, point classification).
+// Worker panics resurface on the caller as a *par.WorkerPanic with
+// the worker's stack attached.
+func ParallelFor(n int, f func(int)) { par.For(n, f) }
 
-// ParallelFor runs f(i) for i in [0, n) on up to GOMAXPROCS workers
-// and waits for completion. Every index is visited exactly once, in no
-// particular order. It is exported for the predictors' CPU-bound loops
-// (sphere scans, point classification).
-func ParallelFor(n int, f func(int)) { parallelFor(n, f) }
+// parallelFor is the package-internal alias kept for the kernels.
+func parallelFor(n int, f func(int)) { par.For(n, f) }
 
-// parallelFor runs f(i) for i in [0, n) on up to GOMAXPROCS workers.
-func parallelFor(n int, f func(int)) {
-	parallelChunks(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			f(i)
-		}
-	})
-}
-
-// parallelChunks covers [0, n) with disjoint half-open ranges and runs
-// f on them from up to GOMAXPROCS workers, waiting for completion.
-// Workers claim ranges from a shared atomic cursor, so the total
-// scheduling overhead is O(workers + chunks), not O(n). Hot loops that
-// want worker-local scratch (heaps, distance buffers) use this
-// directly: allocate the scratch once per f invocation and reuse it
-// across the range.
-func parallelChunks(n int, f func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		f(0, n)
-		return
-	}
-	chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				hi := int(cursor.Add(int64(chunk)))
-				lo := hi - chunk
-				if lo >= n {
-					return
-				}
-				if hi > n {
-					hi = n
-				}
-				f(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// parallelChunks hands disjoint half-open ranges of [0, n) to the
+// shared pool; hot loops use it to amortize worker-local scratch
+// (heaps, distance buffers) across a range.
+func parallelChunks(n int, f func(lo, hi int)) { par.Chunks(n, f) }

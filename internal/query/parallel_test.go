@@ -6,6 +6,10 @@ import (
 	"testing"
 )
 
+// chunksPerWorker mirrors par.chunksPerWorker so the sizes below still
+// straddle the scheduling boundaries of the shared pool.
+const chunksPerWorker = 8
+
 // Regression for the scheduler rewrite: every index in [0, n) must be
 // visited exactly once, for sizes around every scheduling boundary
 // (empty, single, fewer than workers, chunk-size edges, large).

@@ -6,6 +6,7 @@ import (
 
 	"hdidx/internal/mbr"
 	"hdidx/internal/obs"
+	"hdidx/internal/par"
 	"hdidx/internal/vec"
 )
 
@@ -81,10 +82,35 @@ func (p BuildParams) subtreeCap(level int) float64 {
 	return cap
 }
 
+// forkMinPoints is the smallest half a VAMSplit partition hands to the
+// worker pool. Below it the fork/join bookkeeping outweighs the split
+// work (one variance pass plus a quickselect over the half). It is a
+// variable so tests can lower it to exercise the parallel paths on
+// small inputs.
+var forkMinPoints = 4096
+
 // Build bulk-loads a tree over pts. The point slices are retained (and
 // reordered) but their contents are never modified. It panics on an
 // empty input or non-positive capacities.
+//
+// When the shared worker pool (internal/par) has more than one worker,
+// sibling subtrees build concurrently. The result is bit-identical to
+// BuildSequential: siblings partition disjoint subslices of pts, every
+// per-subtree computation (variance pass, Hoare quickselect, MBR
+// extension) sees exactly the input it would see sequentially, and
+// child order is preserved across forks — scheduling affects only
+// timing, never values.
 func Build(pts [][]float64, params BuildParams) *Tree {
+	return buildWith(pts, params, par.NewGroup())
+}
+
+// BuildSequential is the single-goroutine bulk load, kept as the
+// oracle the parallel Build is property-tested against.
+func BuildSequential(pts [][]float64, params BuildParams) *Tree {
+	return buildWith(pts, params, nil)
+}
+
+func buildWith(pts [][]float64, params BuildParams, g *par.Group) *Tree {
 	if len(pts) == 0 {
 		panic("rtree: Build on empty point set")
 	}
@@ -95,7 +121,7 @@ func Build(pts [][]float64, params BuildParams) *Tree {
 	if height <= 0 {
 		height = params.DeriveHeight(len(pts))
 	}
-	b := &builder{params: params}
+	b := &builder{params: params, g: g}
 	root := b.buildLevel(pts, height)
 	t := &Tree{
 		Root:      root,
@@ -144,6 +170,10 @@ func finish(t *Tree) {
 
 type builder struct {
 	params BuildParams
+	// g is the fork-join group sibling subtree builds fan out on; nil
+	// builds sequentially (the on-disk external builder and the
+	// BuildSequential oracle).
+	g *par.Group
 }
 
 // buildLevel builds a subtree of the given height (paper:
@@ -198,6 +228,22 @@ func (b *builder) splitInto(pts [][]float64, k int, subcap float64, childLevel i
 		dim = vec.MaxVarianceDim(pts)
 	}
 	left, right := vec.PartitionByDim(pts, dim, cut)
+	if b.g != nil && len(left) >= forkMinPoints && len(right) >= forkMinPoints {
+		// Fork the right half onto the pool. left and right are
+		// disjoint subslices of pts, so the two recursions never touch
+		// the same memory; the right half's children collect into a
+		// detached side node and are appended only after join, keeping
+		// child order — and therefore the whole tree — bit-identical
+		// to the sequential build.
+		side := &Node{}
+		join := b.g.Fork(func() {
+			b.splitInto(right, k-kl, subcap, childLevel, side)
+		})
+		b.splitInto(left, kl, subcap, childLevel, parent)
+		join()
+		parent.Children = append(parent.Children, side.Children...)
+		return
+	}
 	b.splitInto(left, kl, subcap, childLevel, parent)
 	b.splitInto(right, k-kl, subcap, childLevel, parent)
 }

@@ -9,7 +9,14 @@
 # internal/disk) and writes BENCH_buffer.json with the best ns/op and
 # the hit rate of each pool budget.
 #
-# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json]
+# Also runs the parallel-build and concurrent-sweep benchmarks
+# (BenchmarkBuildWorkers in internal/rtree, BenchmarkSweepWorkers at
+# the root) across pool widths 1/2/4/8 and writes BENCH_build.json
+# with the best ns/op of each width and the w1/wN speedups. The
+# speedups scale with the host's CPU count; on a single-CPU runner
+# they sit at ~1.0 by construction (host_cpus records the context).
+#
+# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +24,7 @@ COUNT="${COUNT:-3}"
 BENCHTIME="${BENCHTIME:-20x}"
 OUT="${OUT:-BENCH_kernels.json}"
 BUFOUT="${BUFOUT:-BENCH_buffer.json}"
+BUILDOUT="${BUILDOUT:-BENCH_build.json}"
 
 raw="$(go test -run='^$' -bench='^BenchmarkKernel' -benchtime="$BENCHTIME" -count="$COUNT" \
 	./internal/query/ ./internal/mbr/)"
@@ -91,3 +99,52 @@ END {
 
 echo "wrote $BUFOUT:"
 cat "$BUFOUT"
+
+buildraw="$(go test -run='^$' -bench='^BenchmarkBuildWorkers' -benchtime="$BENCHTIME" -count="$COUNT" \
+	./internal/rtree/)"
+echo "$buildraw"
+sweepraw="$(go test -run='^$' -bench='^BenchmarkSweepWorkers' -benchtime="$BENCHTIME" -count="$COUNT" .)"
+echo "$sweepraw"
+
+printf '%s\n%s\n' "$buildraw" "$sweepraw" | awk -v out="$BUILDOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$(nproc 2>/dev/null || echo 1)" '
+/^Benchmark(Build|Sweep)Workers\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	sub(/^Benchmark(Build|Sweep)Workers\//, "", name)
+	ns = $3 + 0
+	if (!(name in best) || ns < best[name]) best[name] = ns
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n" > out
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"count\": %d,\n", count > out
+	printf "  \"host_cpus\": %d,\n", procs > out
+	printf "  \"best_ns_per_op\": {\n" > out
+	for (i = 1; i <= n; i++) {
+		printf "    \"%s\": %.0f%s\n", order[i], best[order[i]], (i < n ? "," : "") > out
+	}
+	printf "  },\n" > out
+	# Speedups are sequential-width time over each wider pool; on a
+	# single-CPU host they sit at ~1.0 by construction.
+	printf "  \"speedups_vs_w1\": {\n" > out
+	m = split("d16 d60 table3", groups, " ")
+	first = 1
+	for (i = 1; i <= m; i++) {
+		g = groups[i]
+		base = best[g "/w1"]
+		if (base <= 0) continue
+		for (w = 2; w <= 8; w *= 2) {
+			t = best[g "/w" w]
+			if (t <= 0) continue
+			if (!first) printf ",\n" > out
+			printf "    \"%s_w%d\": %.2f", g, w, base / t > out
+			first = 0
+		}
+	}
+	printf "\n  }\n}\n" > out
+}'
+
+echo "wrote $BUILDOUT:"
+cat "$BUILDOUT"
