@@ -108,9 +108,12 @@ func (c config) geometry(dim int) rtree.Geometry {
 	return rtree.Geometry{Dim: dim, PageBytes: c.pageBytes, Utilization: c.utilization}
 }
 
-// Index is a bulk-loaded VAMSplit R*-tree.
+// Index is a bulk-loaded VAMSplit R*-tree. Queries run over a
+// linearized snapshot of the tree (rtree.FlatTree) built once at Build
+// time; the pointer tree is retained for prediction and introspection.
 type Index struct {
 	tree *rtree.Tree
+	flat *rtree.FlatTree
 	g    rtree.Geometry
 }
 
@@ -129,7 +132,7 @@ func Build(points [][]float64, opts ...Option) (*Index, error) {
 	cp := make([][]float64, len(points))
 	copy(cp, points)
 	tree := rtree.BuildTraced(cp, rtree.ParamsForGeometry(g), obs.TraceIfEnabled("hdidx.build", nil))
-	return &Index{tree: tree, g: g}, nil
+	return &Index{tree: tree, flat: tree.Flatten(), g: g}, nil
 }
 
 // QueryStats reports the page accesses of one search.
@@ -151,7 +154,7 @@ func (ix *Index) KNN(q []float64, k int) ([][]float64, QueryStats, error) {
 	if len(q) != ix.tree.Dim {
 		return nil, QueryStats{}, fmt.Errorf("hdidx: query dimension %d, index dimension %d", len(q), ix.tree.Dim)
 	}
-	res := query.KNNSearch(ix.tree, q, k)
+	res := query.KNNSearchFlat(ix.flat, q, k)
 	return res.Neighbors, QueryStats{
 		LeafAccesses: res.LeafAccesses,
 		DirAccesses:  res.DirAccesses,
@@ -168,7 +171,7 @@ func (ix *Index) RangeCount(center []float64, radius float64) (int, QueryStats, 
 	if radius < 0 {
 		return 0, QueryStats{}, fmt.Errorf("hdidx: negative radius")
 	}
-	n, res := query.RangeSearch(ix.tree, query.Sphere{Center: center, Radius: radius})
+	n, res := query.RangeSearchFlat(ix.flat, query.Sphere{Center: center, Radius: radius})
 	return n, QueryStats{LeafAccesses: res.LeafAccesses, DirAccesses: res.DirAccesses, Radius: radius}, nil
 }
 

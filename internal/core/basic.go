@@ -68,8 +68,9 @@ func PredictBasicTraced(data [][]float64, zeta float64, compensate bool, g rtree
 
 // MeasureInMemory builds the full index in memory and measures the
 // per-query leaf accesses — the zero-error (and zero-I/O-realism)
-// reference for PredictBasic experiments.
+// reference for PredictBasic experiments. The count runs over the
+// tree's flat leaf-MBR set directly rather than a node walk.
 func MeasureInMemory(data [][]float64, g rtree.Geometry, spheres []query.Sphere) []float64 {
 	tree := rtree.Build(data, rtree.ParamsForGeometry(g))
-	return query.MeasureLeafAccesses(tree, spheres)
+	return query.MeasureLeafAccessesSet(tree.LeafRectSet(), spheres)
 }

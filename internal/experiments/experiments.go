@@ -182,7 +182,7 @@ func (e *environment) measureOnDiskIO() (build, queries disk.Counters) {
 	if k > len(e.data) {
 		k = len(e.data)
 	}
-	results := query.MeasureKNN(tree, e.queryPoints, k)
+	results := query.MeasureKNNFlat(tree.Flatten(), e.queryPoints, k)
 	for _, r := range results {
 		pages := int64(r.LeafAccesses + r.DirAccesses)
 		queries.Seeks += pages

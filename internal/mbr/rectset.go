@@ -47,6 +47,25 @@ func NewRectSet(rects []Rect) *RectSet {
 // Len returns the number of rectangles.
 func (s *RectSet) Len() int { return s.n }
 
+// Slice returns a view of rectangles [start, start+count) sharing the
+// backing arrays with s. Like s itself the view is immutable and safe
+// for concurrent readers. The flat tree layout uses it to expose its
+// leaf-MBR tail as a standalone set without copying.
+func (s *RectSet) Slice(start, count int) *RectSet {
+	if start < 0 || count < 0 || start+count > s.n {
+		panic(fmt.Sprintf("mbr: slice [%d, %d) of a %d-rectangle set", start, start+count, s.n))
+	}
+	if count == 0 {
+		return &RectSet{}
+	}
+	return &RectSet{
+		lo:  s.lo[start*s.dim : (start+count)*s.dim],
+		hi:  s.hi[start*s.dim : (start+count)*s.dim],
+		n:   count,
+		dim: s.dim,
+	}
+}
+
 // Dim returns the dimensionality (0 for an empty set).
 func (s *RectSet) Dim() int { return s.dim }
 
@@ -81,6 +100,52 @@ func (s *RectSet) MinSqDist(i int, p []float64) float64 {
 		}
 	}
 	return acc
+}
+
+// MinSqDists computes the squared MINDIST from p to each rectangle of
+// the contiguous range [start, start+count), writing rectangle start+i's
+// distance to out[i]. It is the batched child-pruning kernel of the
+// flat best-first traversal: one call prices a whole child range over
+// contiguous corner memory instead of one pointer-chased MinSqDist per
+// child.
+//
+// Per rectangle the terms accumulate in ascending dimension order,
+// exactly like Rect.MinSqDist, so every completed distance is
+// bit-identical to the scalar reference. A rectangle whose partial sum
+// exceeds bound is abandoned early — the remaining terms are
+// non-negative, so its full distance is also above bound — and its out
+// entry holds that partial sum (some value > bound). Callers that only
+// keep entries <= bound therefore make identical decisions with or
+// without the early exit; pass bound = +Inf for exact distances
+// everywhere.
+func (s *RectSet) MinSqDists(p []float64, start, count int, bound float64, out []float64) {
+	if count == 0 {
+		return
+	}
+	if len(p) != s.dim {
+		panic(fmt.Sprintf("mbr: point dimension %d != rect dimension %d", len(p), s.dim))
+	}
+	if start < 0 || start+count > s.n {
+		panic(fmt.Sprintf("mbr: range [%d, %d) of a %d-rectangle set", start, start+count, s.n))
+	}
+	dim := s.dim
+	lo, hi := s.lo, s.hi
+	for i, base := 0, start*dim; i < count; i, base = i+1, base+dim {
+		var acc float64
+		for j, v := range p {
+			if l := lo[base+j]; v < l {
+				d := l - v
+				acc += d * d
+			} else if h := hi[base+j]; v > h {
+				d := v - h
+				acc += d * d
+			}
+			if acc > bound {
+				break
+			}
+		}
+		out[i] = acc
+	}
 }
 
 // CountSphereIntersections returns how many rectangles the closed ball

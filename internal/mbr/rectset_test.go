@@ -303,3 +303,77 @@ func BenchmarkKernelLeafIntersectRef60(b *testing.B) {
 		}
 	}
 }
+
+func TestRectSetSliceViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	rects := randRects(rng, 20, 3, true)
+	s := NewRectSet(rects)
+	v := s.Slice(5, 8)
+	if v.Len() != 8 || v.Dim() != 3 {
+		t.Fatalf("slice len=%d dim=%d, want 8/3", v.Len(), v.Dim())
+	}
+	p := []float64{0.3, 0.7, 0.1}
+	for i := 0; i < v.Len(); i++ {
+		if got, want := v.MinSqDist(i, p), s.MinSqDist(5+i, p); got != want {
+			t.Fatalf("slice rect %d: MinSqDist %v, want %v", i, got, want)
+		}
+	}
+	if empty := s.Slice(7, 0); empty.Len() != 0 {
+		t.Fatalf("empty slice has %d rects", empty.Len())
+	}
+	for _, bad := range [][2]int{{-1, 3}, {0, 21}, {18, 5}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Slice(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			s.Slice(bad[0], bad[1])
+		}()
+	}
+}
+
+// Property: every completed MinSqDists entry is bit-identical to the
+// scalar MinSqDist, and the early exit only drops entries that are
+// already above the bound.
+func TestRectSetMinSqDistsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		dim := 1 + rng.Intn(8)
+		s := NewRectSet(randRects(rng, n, dim, true))
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()*2 - 0.5
+		}
+		start := rng.Intn(n)
+		count := 1 + rng.Intn(n-start)
+		out := make([]float64, count)
+
+		// Unbounded: exact equality with the scalar kernel everywhere.
+		s.MinSqDists(p, start, count, math.Inf(1), out)
+		for i := 0; i < count; i++ {
+			if out[i] != s.MinSqDist(start+i, p) {
+				return false
+			}
+		}
+		// Bounded: entries at or below the bound are exact; entries
+		// above it are partial sums that still exceed the bound.
+		bound := rng.Float64() * float64(dim) * 0.25
+		s.MinSqDists(p, start, count, bound, out)
+		for i := 0; i < count; i++ {
+			exact := s.MinSqDist(start+i, p)
+			if exact <= bound {
+				if out[i] != exact {
+					return false
+				}
+			} else if out[i] <= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -107,7 +107,7 @@ func MultiStepKNN(t *rtree.Tree, q []float64, k int, project func([]float64) []f
 	qProj := project(q)
 	rank := NewRanking(t, qProj)
 	best := newBoundedMaxHeap(k)
-	var cands []cand
+	nbrs := neighborHeap{k: k}
 	res := MultiStepResult{}
 	for {
 		p, projDist := rank.Next()
@@ -124,12 +124,12 @@ func MultiStepKNN(t *rtree.Tree, q []float64, k int, project func([]float64) []f
 		res.ObjectAccesses++
 		d := sqDist(full, q)
 		best.offer(d)
-		cands = append(cands, cand{p: full, d: d})
+		nbrs.offer(d, full)
 	}
 	res.IndexLeafAccesses = rank.LeafAccesses
 	res.IndexDirAccesses = rank.DirAccesses
 	res.Radius = math.Sqrt(best.max())
-	res.Neighbors = selectNearest(cands, k)
+	res.Neighbors = nbrs.extract()
 	return res
 }
 

@@ -12,7 +12,6 @@
 package query
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -101,7 +100,15 @@ func CountIntersections(rects []mbr.Rect, s Sphere) int {
 // the tree intersecting it, using the tree's flat leaf-MBR set.
 // Queries run in parallel.
 func MeasureLeafAccesses(t *rtree.Tree, spheres []Sphere) []float64 {
-	set := t.LeafRectSet()
+	return MeasureLeafAccessesSet(t.LeafRectSet(), spheres)
+}
+
+// MeasureLeafAccessesSet counts, for each query sphere, the
+// rectangles of the flat SoA set intersecting it — the shared kernel
+// entry behind leaf-access measurement over pointer trees
+// (Tree.LeafRectSet), flat trees (FlatTree.LeafRectSet), and the
+// predictors' mini-index leaf layouts. Queries run in parallel.
+func MeasureLeafAccessesSet(set *mbr.RectSet, spheres []Sphere) []float64 {
 	out := make([]float64, len(spheres))
 	parallelChunks(len(spheres), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -125,18 +132,24 @@ type Result struct {
 }
 
 // KNNSearch runs the optimal best-first (Hjaltason–Samet) k-NN search
-// on the tree and reports the pages accessed.
+// on the pointer tree and reports the pages accessed, including the k
+// nearest points (closest first, distance ties broken by lexicographic
+// point order).
+//
+// This is the reference oracle of the flat traversal layout: the hot
+// paths run KNNSearchFlat over Tree.Flatten(), which is bit-identical
+// in radius, access counts, and neighbor set (property-tested).
 func KNNSearch(t *rtree.Tree, q []float64, k int) Result {
 	if k <= 0 || k > t.NumPoints {
 		panic(fmt.Sprintf("query: k = %d outside [1, %d]", k, t.NumPoints))
 	}
-	pq := &nodeHeap{}
-	heap.Push(pq, nodeEntry{node: t.Root, dist: t.Root.Rect.MinSqDist(q)})
+	var pq nodeHeap
+	pq.push(nodeEntry{node: t.Root, dist: t.Root.Rect.MinSqDist(q)})
 	best := newBoundedMaxHeap(k)
+	nbrs := neighborHeap{k: k}
 	res := Result{}
-	var cands []cand
-	for pq.Len() > 0 {
-		e := heap.Pop(pq).(nodeEntry)
+	for pq.len() > 0 {
+		e := pq.pop()
 		if best.full() && e.dist > best.max() {
 			break
 		}
@@ -145,7 +158,7 @@ func KNNSearch(t *rtree.Tree, q []float64, k int) Result {
 			for _, p := range e.node.Points {
 				d := sqDist(p, q)
 				best.offer(d)
-				cands = append(cands, cand{p: p, d: d})
+				nbrs.offer(d, p)
 			}
 			continue
 		}
@@ -153,53 +166,22 @@ func KNNSearch(t *rtree.Tree, q []float64, k int) Result {
 		for _, c := range e.node.Children {
 			d := c.Rect.MinSqDist(q)
 			if !best.full() || d <= best.max() {
-				heap.Push(pq, nodeEntry{node: c, dist: d})
+				pq.push(nodeEntry{node: c, dist: d})
 			}
 		}
 	}
 	res.Radius = math.Sqrt(best.max())
-	res.Neighbors = selectNearest(cands, k)
+	res.Neighbors = nbrs.extract()
 	return res
 }
 
-// cand is a data point encountered during search with its squared
-// distance to the query.
-type cand struct {
-	p []float64
-	d float64
-}
-
-func selectNearest(cands []cand, k int) [][]float64 {
-	// Partial selection sort: k is small.
-	if k > len(cands) {
-		k = len(cands)
-	}
-	out := make([][]float64, 0, k)
-	used := make([]bool, len(cands))
-	for n := 0; n < k; n++ {
-		best := -1
-		for i, c := range cands {
-			if used[i] {
-				continue
-			}
-			if best < 0 || c.d < cands[best].d {
-				best = i
-			}
-		}
-		used[best] = true
-		out = append(out, cands[best].p)
-	}
-	return out
-}
-
 // MeasureKNN runs best-first k-NN for each query point and returns the
-// per-query leaf accesses. Queries run in parallel.
+// per-query access counts and radii (no neighbor lists — the
+// measurement callers only consume radii and page counts). The tree is
+// flattened once and the queries run the flat best-first search in
+// parallel; the results are bit-identical to per-query KNNSearch.
 func MeasureKNN(t *rtree.Tree, queryPoints [][]float64, k int) []Result {
-	out := make([]Result, len(queryPoints))
-	parallelFor(len(queryPoints), func(i int) {
-		out[i] = KNNSearch(t, queryPoints[i], k)
-	})
-	return out
+	return MeasureKNNFlat(t.Flatten(), queryPoints, k)
 }
 
 // RangeSearch counts the points of the tree within the sphere and the
@@ -239,7 +221,10 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// nodeEntry / nodeHeap implement the best-first priority queue.
+// nodeEntry / nodeHeap implement the best-first priority queue of the
+// pointer oracle as a concrete slice-backed binary min-heap — no
+// container/heap, so pushes append plain structs instead of boxing
+// every entry into an interface{} allocation.
 type nodeEntry struct {
 	node *rtree.Node
 	dist float64
@@ -247,16 +232,140 @@ type nodeEntry struct {
 
 type nodeHeap []nodeEntry
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (h nodeHeap) len() int { return len(h) }
+
+func (h *nodeHeap) push(e nodeEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].dist <= s[i].dist {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() nodeEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && s[l].dist < s[min].dist {
+			min = l
+		}
+		if r < last && s[r].dist < s[min].dist {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// neighborHeap selects the k nearest candidate points as a bounded
+// max-heap (the boundedMaxHeap machinery, carrying the points): offers
+// beyond capacity replace the root when strictly closer, so selection
+// is O(log k) per candidate instead of the removed selectNearest's
+// O(n·k) selection sort over every visited leaf point. Distance ties
+// order by lexicographic point comparison, making the selected set and
+// its output order identical however the traversal encounters the
+// candidates — the pointer oracle and the flat search agree bit for
+// bit on neighbor lists.
+type neighborHeap struct {
+	k int
+	e []nbrCand
+}
+
+type nbrCand struct {
+	d float64
+	p []float64
+}
+
+// less orders candidates ascending by (distance, lexicographic point).
+func (c nbrCand) less(o nbrCand) bool {
+	if c.d != o.d {
+		return c.d < o.d
+	}
+	for i, v := range c.p {
+		if v != o.p[i] {
+			return v < o.p[i]
+		}
+	}
+	return false
+}
+
+func (h *neighborHeap) reset(k int) {
+	h.k = k
+	h.e = h.e[:0]
+}
+
+func (h *neighborHeap) offer(d float64, p []float64) {
+	c := nbrCand{d: d, p: p}
+	if len(h.e) < h.k {
+		h.e = append(h.e, c)
+		h.up(len(h.e) - 1)
+		return
+	}
+	if !c.less(h.e[0]) {
+		return
+	}
+	h.e[0] = c
+	h.down(0, len(h.e))
+}
+
+func (h *neighborHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.e[parent].less(h.e[i]) {
+			return
+		}
+		h.e[parent], h.e[i] = h.e[i], h.e[parent]
+		i = parent
+	}
+}
+
+func (h *neighborHeap) down(i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.e[largest].less(h.e[l]) {
+			largest = l
+		}
+		if r < n && h.e[largest].less(h.e[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.e[i], h.e[largest] = h.e[largest], h.e[i]
+		i = largest
+	}
+}
+
+// extract empties the heap into a slice of the retained points sorted
+// ascending by (distance, lexicographic point) — an in-place heap
+// sort, so the returned slice is the only allocation.
+func (h *neighborHeap) extract() [][]float64 {
+	out := make([][]float64, len(h.e))
+	for n := len(h.e); n > 0; n-- {
+		out[n-1] = h.e[0].p
+		h.e[0] = h.e[n-1]
+		h.down(0, n-1)
+	}
+	h.e = h.e[:0]
+	return out
 }
 
 // boundedMaxHeap keeps the k smallest values offered; max() is the

@@ -1,0 +1,126 @@
+package rtree
+
+import (
+	"fmt"
+
+	"hdidx/internal/mbr"
+	"hdidx/internal/vec"
+)
+
+// FlatTree is a linearized, structure-of-arrays snapshot of a Tree for
+// cache-conscious traversal. Nodes are numbered in breadth-first order
+// (node 0 is the root), matching the PageID numbering finish() assigns,
+// so BFS layers — and therefore tree levels — occupy contiguous index
+// ranges and all leaves form the tail [NumNodes-NumLeaves, NumNodes).
+//
+// The pointer tree's per-node headers are replaced by parallel arrays:
+//
+//   - ChildStart/ChildCount give node i's children as the contiguous
+//     index range [ChildStart[i], ChildStart[i]+ChildCount[i]) — BFS
+//     enqueues siblings consecutively, so child ranges need no pointer
+//     or index list. ChildCount[i] == 0 identifies a leaf.
+//   - Rects holds every node MBR in the same BFS order as one
+//     mbr.RectSet, so pruning a whole child range is one pass over
+//     contiguous corner memory (RectSet.MinSqDists).
+//   - Points packs all leaf points into one row-major vec.Matrix in
+//     leaf order; leaf i's rows are [PtStart[i], PtStart[i]+PtCount[i]),
+//     so a leaf scan runs the flat early-exit distance kernels over
+//     contiguous rows.
+//
+// A FlatTree is immutable after Flatten and safe for concurrent
+// readers. It is a snapshot: dynamic inserts into the source tree do
+// not propagate, callers re-flatten after mutating.
+type FlatTree struct {
+	// Dim is the dimensionality of the indexed points.
+	Dim int
+	// Height is the tree height (1 for a single leaf, 0 when empty).
+	Height int
+	// NumPoints and NumLeaves mirror the source tree's counts.
+	NumPoints int
+	NumLeaves int
+	// ChildStart and ChildCount give each node's child index range;
+	// ChildCount[i] == 0 marks node i as a leaf.
+	ChildStart []int32
+	ChildCount []int32
+	// PtStart and PtCount give each leaf node's row range in Points
+	// (both zero for directory nodes).
+	PtStart []int32
+	PtCount []int32
+	// Rects holds all node MBRs in BFS order.
+	Rects *mbr.RectSet
+	// Points holds all leaf points packed in leaf order.
+	Points vec.Matrix
+
+	leafRects *mbr.RectSet // view of the leaf tail of Rects
+}
+
+// Flatten linearizes the tree into a FlatTree. The snapshot copies the
+// MBR corners and point coordinates into contiguous arrays; the source
+// tree is left untouched and later dynamic inserts into it do not
+// propagate. Flatten costs one BFS pass over the tree — callers on a
+// query hot path flatten once and share the result.
+func (t *Tree) Flatten() *FlatTree {
+	t.refresh()
+	if t.Root == nil {
+		return &FlatTree{}
+	}
+	n := t.nodes
+	f := &FlatTree{
+		Dim:        t.Dim,
+		Height:     t.Root.Level,
+		NumPoints:  t.NumPoints,
+		NumLeaves:  len(t.leaves),
+		ChildStart: make([]int32, n),
+		ChildCount: make([]int32, n),
+		PtStart:    make([]int32, n),
+		PtCount:    make([]int32, n),
+		Points:     vec.Matrix{Data: make([]float64, 0, t.NumPoints*t.Dim), Dim: t.Dim},
+	}
+	rects := make([]mbr.Rect, 0, n)
+	queue := make([]*Node, 1, n)
+	queue[0] = t.Root
+	next := int32(1)
+	var ptOff int32
+	for i := 0; i < len(queue); i++ {
+		nd := queue[i]
+		rects = append(rects, nd.Rect)
+		if nd.IsLeaf() {
+			f.PtStart[i] = ptOff
+			f.PtCount[i] = int32(len(nd.Points))
+			ptOff += int32(len(nd.Points))
+			f.Points.AppendRows(nd.Points)
+			continue
+		}
+		f.ChildStart[i] = next
+		f.ChildCount[i] = int32(len(nd.Children))
+		next += int32(len(nd.Children))
+		queue = append(queue, nd.Children...)
+	}
+	if int(next) != n || int(ptOff) != t.NumPoints {
+		panic(fmt.Sprintf("rtree: flatten accounted %d nodes / %d points, want %d / %d",
+			next, ptOff, n, t.NumPoints))
+	}
+	f.Rects = mbr.NewRectSet(rects)
+	f.leafRects = f.Rects.Slice(n-f.NumLeaves, f.NumLeaves)
+	return f
+}
+
+// NumNodes returns the total number of nodes (directory plus leaf).
+func (f *FlatTree) NumNodes() int { return len(f.ChildStart) }
+
+// IsLeaf reports whether node i is a data page.
+func (f *FlatTree) IsLeaf(i int32) bool { return f.ChildCount[i] == 0 }
+
+// LeafRectSet returns the leaf MBRs — the tail of the BFS order — as a
+// RectSet view in the same leaf order as Tree.LeafRectSet.
+func (f *FlatTree) LeafRectSet() *mbr.RectSet {
+	if f.leafRects == nil {
+		return &mbr.RectSet{}
+	}
+	return f.leafRects
+}
+
+// LeafRow returns row r of the packed point matrix as a slice view.
+func (f *FlatTree) LeafRow(r int32) []float64 {
+	return f.Points.Row(int(r))
+}

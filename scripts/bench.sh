@@ -16,7 +16,12 @@
 # speedups scale with the host's CPU count; on a single-CPU runner
 # they sit at ~1.0 by construction (host_cpus records the context).
 #
-# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json]
+# Also runs the pointer-vs-flat k-NN traversal benchmarks
+# (BenchmarkKNNPointer / BenchmarkKNNFlat in internal/query, d=16 and
+# d=60) and writes BENCH_knn.json with the best ns/op of each path and
+# the pointer/flat speedup per dimensionality.
+#
+# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json KNNOUT=BENCH_knn.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +30,7 @@ BENCHTIME="${BENCHTIME:-20x}"
 OUT="${OUT:-BENCH_kernels.json}"
 BUFOUT="${BUFOUT:-BENCH_buffer.json}"
 BUILDOUT="${BUILDOUT:-BENCH_build.json}"
+KNNOUT="${KNNOUT:-BENCH_knn.json}"
 
 raw="$(go test -run='^$' -bench='^BenchmarkKernel' -benchtime="$BENCHTIME" -count="$COUNT" \
 	./internal/query/ ./internal/mbr/)"
@@ -148,3 +154,43 @@ END {
 
 echo "wrote $BUILDOUT:"
 cat "$BUILDOUT"
+
+knnraw="$(go test -run='^$' -bench='^BenchmarkKNN(Pointer|Flat)/' -benchtime="$BENCHTIME" -count="$COUNT" \
+	./internal/query/)"
+echo "$knnraw"
+
+echo "$knnraw" | awk -v out="$KNNOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" '
+/^BenchmarkKNN(Pointer|Flat)\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	ns = $3 + 0
+	if (!(name in best) || ns < best[name]) best[name] = ns
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n" > out
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"count\": %d,\n", count > out
+	printf "  \"best_ns_per_op\": {\n" > out
+	for (i = 1; i <= n; i++) {
+		printf "    \"%s\": %.0f%s\n", order[i], best[order[i]], (i < n ? "," : "") > out
+	}
+	printf "  },\n" > out
+	printf "  \"speedups_pointer_over_flat\": {\n" > out
+	m = split("d16 d60", dims, " ")
+	first = 1
+	for (i = 1; i <= m; i++) {
+		d = dims[i]
+		ptr = best["BenchmarkKNNPointer/" d]
+		flat = best["BenchmarkKNNFlat/" d]
+		if (ptr <= 0 || flat <= 0) continue
+		if (!first) printf ",\n" > out
+		printf "    \"%s\": %.2f", d, ptr / flat > out
+		first = 0
+	}
+	printf "\n  }\n}\n" > out
+}'
+
+echo "wrote $KNNOUT:"
+cat "$KNNOUT"
