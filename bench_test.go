@@ -503,6 +503,29 @@ func BenchmarkSweepWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkServe runs the concurrent-serving extension: readers
+// issuing k-NN queries against the live snapshot while a writer
+// ingests and republishes, reporting the latency quantiles from the
+// server's reservoir sketch and the sustained throughput.
+// scripts/bench.sh records them in BENCH_serve.json.
+func BenchmarkServe(b *testing.B) {
+	opt := experiments.Options{Scale: 0.05, Queries: 250, K: 21, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Serve(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(float64(res.KNN.P50.Microseconds()), "p50_us")
+			b.ReportMetric(float64(res.KNN.P95.Microseconds()), "p95_us")
+			b.ReportMetric(float64(res.KNN.P99.Microseconds()), "p99_us")
+			b.ReportMetric(res.Throughput, "queries/s")
+			b.ReportMetric(float64(res.Generations), "generations")
+		}
+	}
+}
+
 // BenchmarkIndexKNN measures the raw query throughput of the index
 // itself (micro-benchmark; not a paper artifact).
 func BenchmarkIndexKNN(b *testing.B) {

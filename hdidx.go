@@ -146,27 +146,50 @@ type QueryStats struct {
 }
 
 // KNN returns the k nearest neighbors of q, closest first, with the
-// page-access statistics of the (optimal best-first) search.
+// page-access statistics of the (optimal best-first) search. The
+// returned neighbors are private copies: mutating them never corrupts
+// the index, and they stay valid however long they are retained.
 func (ix *Index) KNN(q []float64, k int) ([][]float64, QueryStats, error) {
-	if k < 1 || k > ix.tree.NumPoints {
-		return nil, QueryStats{}, fmt.Errorf("hdidx: k=%d outside [1, %d]", k, ix.tree.NumPoints)
+	// Validate against the flat snapshot being searched, not the
+	// pointer tree: the snapshot is the authority on what this search
+	// can actually serve.
+	if k < 1 || k > ix.flat.NumPoints {
+		return nil, QueryStats{}, fmt.Errorf("hdidx: k=%d outside [1, %d]", k, ix.flat.NumPoints)
 	}
-	if len(q) != ix.tree.Dim {
-		return nil, QueryStats{}, fmt.Errorf("hdidx: query dimension %d, index dimension %d", len(q), ix.tree.Dim)
+	if len(q) != ix.flat.Dim {
+		return nil, QueryStats{}, fmt.Errorf("hdidx: query dimension %d, index dimension %d", len(q), ix.flat.Dim)
 	}
 	res := query.KNNSearchFlat(ix.flat, q, k)
-	return res.Neighbors, QueryStats{
+	return copyNeighbors(res.Neighbors, ix.flat.Dim), QueryStats{
 		LeafAccesses: res.LeafAccesses,
 		DirAccesses:  res.DirAccesses,
 		Radius:       res.Radius,
 	}, nil
 }
 
+// copyNeighbors materializes defensive copies of neighbor rows, which
+// otherwise alias the flat tree's packed point matrix (see the
+// query.KNNSearchFlat aliasing contract). One backing array serves all
+// rows.
+func copyNeighbors(nbrs [][]float64, dim int) [][]float64 {
+	if len(nbrs) == 0 {
+		return nbrs
+	}
+	backing := make([]float64, len(nbrs)*dim)
+	out := make([][]float64, len(nbrs))
+	for i, n := range nbrs {
+		row := backing[i*dim : (i+1)*dim : (i+1)*dim]
+		copy(row, n)
+		out[i] = row
+	}
+	return out
+}
+
 // RangeCount returns the number of indexed points within radius of
 // center, with page-access statistics.
 func (ix *Index) RangeCount(center []float64, radius float64) (int, QueryStats, error) {
-	if len(center) != ix.tree.Dim {
-		return 0, QueryStats{}, fmt.Errorf("hdidx: query dimension %d, index dimension %d", len(center), ix.tree.Dim)
+	if len(center) != ix.flat.Dim {
+		return 0, QueryStats{}, fmt.Errorf("hdidx: query dimension %d, index dimension %d", len(center), ix.flat.Dim)
 	}
 	if radius < 0 {
 		return 0, QueryStats{}, fmt.Errorf("hdidx: negative radius")
@@ -261,9 +284,10 @@ type EstimateOptions struct {
 	BufferPages int
 	// Workers caps the worker pool the estimate's CPU-bound stages
 	// (parallel bulk loads, sphere scans, point classification) fan
-	// out on. 0 (the default) uses GOMAXPROCS. The setting is applied
-	// process-wide for the duration of the call and restored after;
-	// results are identical for every worker count — parallelism
+	// out on. 0 (the default) uses GOMAXPROCS. The width is scoped to
+	// the call: concurrent estimates with different Workers values run
+	// independently and never disturb the process-wide setting.
+	// Results are identical for every worker count — parallelism
 	// changes wall-clock time, never values.
 	Workers int
 }
@@ -392,7 +416,7 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 	if err != nil {
 		return Estimate{}, err
 	}
-	defer applyWorkers(o)()
+	pool := par.PoolOf(o.Workers)
 	rng := rand.New(rand.NewSource(o.Seed))
 	k := o.K
 	if k > len(p.points) {
@@ -415,8 +439,8 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 		for i := range queryPoints {
 			queryPoints[i] = p.points[rng.Intn(len(p.points))]
 		}
-		spheres := query.ComputeSpheresTraced(p.points, queryPoints, k, tr)
-		pr, err := core.PredictBasicTraced(p.points, zeta, true, p.g, spheres, rng, tr)
+		spheres := query.ComputeSpheresTracedPool(p.points, queryPoints, k, pool, tr)
+		pr, err := core.PredictBasicPool(p.points, zeta, true, p.g, spheres, rng, pool, tr)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -436,6 +460,7 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 		K:            k,
 		QueryIndices: indices,
 		Rng:          rng,
+		Workers:      o.Workers,
 		Trace:        newEstimateTrace(method, d),
 	}
 	var pr core.Prediction
@@ -451,19 +476,6 @@ func (p *Predictor) EstimateKNN(method Method, opts EstimateOptions) (Estimate, 
 		return Estimate{}, err
 	}
 	return estimateOf(method, pr), nil
-}
-
-// applyWorkers installs the estimate's worker-count override and
-// returns the function restoring the previous value. Because the
-// override is process-wide, concurrent estimates with different
-// Workers values see whichever was set last — that affects scheduling
-// width only, never results.
-func applyWorkers(o EstimateOptions) func() {
-	if o.Workers == 0 {
-		return func() {}
-	}
-	prev := par.SetWorkers(o.Workers)
-	return func() { par.SetWorkers(prev) }
 }
 
 // stageDataset stores the dataset on a fresh simulated disk for the
@@ -531,7 +543,7 @@ func (p *Predictor) EstimateRange(method Method, radius float64, opts EstimateOp
 	if err != nil {
 		return Estimate{}, err
 	}
-	defer applyWorkers(o)()
+	pool := par.PoolOf(o.Workers)
 	rng := rand.New(rand.NewSource(o.Seed))
 
 	if method == MethodBasic {
@@ -549,7 +561,7 @@ func (p *Predictor) EstimateRange(method Method, radius float64, opts EstimateOp
 		for i := range spheres {
 			spheres[i] = query.Sphere{Center: p.points[rng.Intn(len(p.points))], Radius: radius}
 		}
-		pr, err := core.PredictBasicTraced(p.points, zeta, true, p.g, spheres, rng, newEstimateTrace(MethodBasic, nil))
+		pr, err := core.PredictBasicPool(p.points, zeta, true, p.g, spheres, rng, pool, newEstimateTrace(MethodBasic, nil))
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -567,6 +579,7 @@ func (p *Predictor) EstimateRange(method Method, radius float64, opts EstimateOp
 		FixedRadius:  radius,
 		QueryIndices: indices,
 		Rng:          rng,
+		Workers:      o.Workers,
 		Trace:        newEstimateTrace(method, d),
 	}
 	var pr core.Prediction
@@ -595,7 +608,7 @@ func (p *Predictor) MeasureRangeAccesses(radius float64, opts EstimateOptions) (
 	if err != nil {
 		return 0, err
 	}
-	defer applyWorkers(o)()
+	pool := par.PoolOf(o.Workers)
 	rng := rand.New(rand.NewSource(o.Seed))
 	spheres := make([]query.Sphere, o.Queries)
 	for i := range spheres {
@@ -604,8 +617,10 @@ func (p *Predictor) MeasureRangeAccesses(radius float64, opts EstimateOptions) (
 	tr := obs.TraceIfEnabled("hdidx.measure.range", nil)
 	cp := make([][]float64, len(p.points))
 	copy(cp, p.points)
-	tree := rtree.BuildTraced(cp, rtree.ParamsForGeometry(p.g), tr)
-	return stats.Mean(query.MeasureLeafAccessesTraced(tree, spheres, tr)), nil
+	params := rtree.ParamsForGeometry(p.g)
+	params.Workers = o.Workers
+	tree := rtree.BuildTraced(cp, params, tr)
+	return stats.Mean(query.MeasureLeafAccessesTracedPool(tree, spheres, pool, tr)), nil
 }
 
 // PageSizeChoice is one candidate of a page-size tuning sweep.
@@ -672,7 +687,7 @@ func (p *Predictor) MeasureKNNAccesses(opts EstimateOptions) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer applyWorkers(o)()
+	pool := par.PoolOf(o.Workers)
 	rng := rand.New(rand.NewSource(o.Seed))
 	k := o.K
 	if k > len(p.points) {
@@ -683,9 +698,9 @@ func (p *Predictor) MeasureKNNAccesses(opts EstimateOptions) (float64, error) {
 		queryPoints[i] = p.points[rng.Intn(len(p.points))]
 	}
 	tr := obs.TraceIfEnabled("hdidx.measure.knn", nil)
-	spheres := query.ComputeSpheresTraced(p.points, queryPoints, k, tr)
+	spheres := query.ComputeSpheresTracedPool(p.points, queryPoints, k, pool, tr)
 	sp := tr.Span("measure.inmemory")
-	out := stats.Mean(core.MeasureInMemory(p.points, p.g, spheres))
+	out := stats.Mean(core.MeasureInMemoryPool(p.points, p.g, spheres, pool))
 	sp.End()
 	return out, nil
 }

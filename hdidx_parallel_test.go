@@ -59,3 +59,76 @@ func TestConcurrentEstimatesIndependent(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentEstimatesScopedWorkers is the regression test for the
+// process-wide worker override race: estimates used to install
+// EstimateOptions.Workers via SetWorkers and restore it afterwards, so
+// two concurrent estimates with different widths raced on the global
+// and could leave the wrong override installed when they unwound out
+// of order. Worker counts are now scoped per call: concurrent
+// estimates at different widths must produce results identical to
+// sequential runs and leave the process-wide setting untouched.
+// Run with -race (CI does) to make the check real.
+func TestConcurrentEstimatesScopedWorkers(t *testing.T) {
+	const sentinel = 2
+	prev := SetWorkers(sentinel)
+	t.Cleanup(func() { SetWorkers(prev) })
+
+	pts := clusteredPoints(t, 0.03, 21)
+	p, err := NewPredictor(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := EstimateOptions{K: 21, Queries: 25, Memory: 1500, Seed: 22}
+
+	// Sequential references at the default width.
+	wantRes, err := p.EstimateKNN(MethodResampled, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBasic, err := p.EstimateKNN(MethodBasic, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent runs at deliberately different per-call widths.
+	workers := []int{1, 3, 1, 4}
+	ests := make([]Estimate, len(workers))
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i, w int) {
+			defer wg.Done()
+			opts := base
+			opts.Workers = w
+			m := MethodResampled
+			if i%2 == 1 {
+				m = MethodBasic
+			}
+			ests[i], errs[i] = p.EstimateKNN(m, opts)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	for i := range ests {
+		want := wantRes
+		if i%2 == 1 {
+			want = wantBasic
+		}
+		got := ests[i]
+		got.Phases, want.Phases = nil, nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("call %d (workers=%d) diverged from the sequential run:\n%+v\n%+v",
+				i, workers[i], got, want)
+		}
+	}
+	// The per-call widths must not have disturbed the global override.
+	if w := Workers(); w != sentinel {
+		t.Fatalf("process-wide workers = %d after scoped estimates, want sentinel %d", w, sentinel)
+	}
+}

@@ -1,0 +1,117 @@
+package hdidx
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestKNNNeighborsAreCopies is the regression test for the
+// neighbor-aliasing bug: Index.KNN used to return row views into the
+// index's packed point matrix, so a caller writing through a returned
+// neighbor silently corrupted the index. Returned neighbors must be
+// private copies.
+func TestKNNNeighborsAreCopies(t *testing.T) {
+	pts := clusteredPoints(t, 0.01, 7)
+	ix, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pts[3]
+	nbs1, st1, err := ix.KNN(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range nbs1 {
+		for j := range nb {
+			nb[j] = math.Inf(1) // vandalize every returned row
+		}
+	}
+	nbs2, st2, err := ix.KNN(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Radius != st2.Radius || !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("mutating returned neighbors changed the index: %+v -> %+v", st1, st2)
+	}
+	for i, nb := range nbs2 {
+		for j := range nb {
+			if math.IsInf(nb[j], 1) {
+				t.Fatalf("neighbor %d aliases the previous result's storage", i)
+			}
+		}
+	}
+}
+
+// TestKNNValidatesAgainstSnapshot pins k validation to the flat
+// snapshot actually being searched (it used to read the pointer tree's
+// count — a different structure from the one serving the query).
+func TestKNNValidatesAgainstSnapshot(t *testing.T) {
+	pts := clusteredPoints(t, 0.005, 8)
+	ix, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.KNN(pts[0], ix.flat.NumPoints); err != nil {
+		t.Fatalf("k at snapshot size must work: %v", err)
+	}
+	if _, _, err := ix.KNN(pts[0], ix.flat.NumPoints+1); err == nil {
+		t.Fatal("k above snapshot size must fail")
+	}
+}
+
+// TestServerFacade drives the concurrent serving handle end to end:
+// build, query, ingest, flush, stats, close.
+func TestServerFacade(t *testing.T) {
+	pts := clusteredPoints(t, 0.01, 9)
+	s, err := NewServer(pts, ServeConfig{FlattenEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != len(pts) || s.Dim() != 60 {
+		t.Fatalf("server %dx%d", s.Len(), s.Dim())
+	}
+	q := pts[10]
+	nbs, st, err := s.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 5 || st.Radius < 0 || st.LeafAccesses < 1 {
+		t.Fatalf("nbs=%d stats=%+v", len(nbs), st)
+	}
+	for j := range q {
+		if nbs[0][j] != q[j] {
+			t.Fatal("first neighbor is not the query point")
+		}
+	}
+	// Nudge the radius up one ulp-ish: the k-NN radius round-trips
+	// through sqrt, so re-squaring can land just below the k-th
+	// point's exact squared distance.
+	n, err := s.RangeCount(q, st.Radius*(1+1e-12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5 {
+		t.Fatalf("range count %d below k within the k-NN radius", n)
+	}
+	before := s.Len()
+	p := make([]float64, s.Dim())
+	if err := s.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if s.Len() != before+1 {
+		t.Fatalf("len %d after insert+flush, want %d", s.Len(), before+1)
+	}
+	stats := s.Stats()
+	if stats.Generation < 2 || stats.KNN.Count < 1 || stats.KNN.P50 <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.KNN(q, 1); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("KNN after close: %v", err)
+	}
+}

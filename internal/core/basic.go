@@ -6,6 +6,7 @@ import (
 
 	"hdidx/internal/dataset"
 	"hdidx/internal/obs"
+	"hdidx/internal/par"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
 )
@@ -21,13 +22,19 @@ import (
 // This is the model behind Figure 2 (relative error versus sample
 // size, with and without compensation).
 func PredictBasic(data [][]float64, zeta float64, compensate bool, g rtree.Geometry, spheres []query.Sphere, rng *rand.Rand) (Prediction, error) {
-	return PredictBasicTraced(data, zeta, compensate, g, spheres, rng, nil)
+	return PredictBasicPool(data, zeta, compensate, g, spheres, rng, par.Pool{}, nil)
 }
 
 // PredictBasicTraced is PredictBasic with per-phase spans (sample
 // draw, mini-index build, intersection counting) recorded on tr; a nil
 // tr disables tracing.
 func PredictBasicTraced(data [][]float64, zeta float64, compensate bool, g rtree.Geometry, spheres []query.Sphere, rng *rand.Rand, tr *obs.Trace) (Prediction, error) {
+	return PredictBasicPool(data, zeta, compensate, g, spheres, rng, par.Pool{}, tr)
+}
+
+// PredictBasicPool is PredictBasicTraced with the mini-index build and
+// intersection-count fan-out bounded by pool.
+func PredictBasicPool(data [][]float64, zeta float64, compensate bool, g rtree.Geometry, spheres []query.Sphere, rng *rand.Rand, pool par.Pool, tr *obs.Trace) (Prediction, error) {
 	if len(data) == 0 {
 		return Prediction{}, fmt.Errorf("core: empty dataset")
 	}
@@ -48,6 +55,7 @@ func PredictBasicTraced(data [][]float64, zeta float64, compensate bool, g rtree
 	sp.End()
 	sp = tr.Span(PhaseMiniBuild)
 	params := rtree.ParamsForGeometry(g).Scaled(zeta, topo.Height)
+	params.Workers = pool.Workers()
 	mini := rtree.Build(sample, params)
 	sp.End()
 
@@ -60,7 +68,7 @@ func PredictBasicTraced(data [][]float64, zeta float64, compensate bool, g rtree
 		p.LeafRects = growAll(p.LeafRects, safeCompensation(capacity, zeta))
 	}
 	sp = tr.Span(PhaseIntersect)
-	countIntersections(&p, spheres)
+	countIntersections(&p, spheres, pool)
 	sp.End()
 	p.Phases = tr.Phases()
 	return p, nil
@@ -71,6 +79,14 @@ func PredictBasicTraced(data [][]float64, zeta float64, compensate bool, g rtree
 // reference for PredictBasic experiments. The count runs over the
 // tree's flat leaf-MBR set directly rather than a node walk.
 func MeasureInMemory(data [][]float64, g rtree.Geometry, spheres []query.Sphere) []float64 {
-	tree := rtree.Build(data, rtree.ParamsForGeometry(g))
-	return query.MeasureLeafAccessesSet(tree.LeafRectSet(), spheres)
+	return MeasureInMemoryPool(data, g, spheres, par.Pool{})
+}
+
+// MeasureInMemoryPool is MeasureInMemory with the build and
+// measurement fan-out bounded by pool.
+func MeasureInMemoryPool(data [][]float64, g rtree.Geometry, spheres []query.Sphere, pool par.Pool) []float64 {
+	params := rtree.ParamsForGeometry(g)
+	params.Workers = pool.Workers()
+	tree := rtree.Build(data, params)
+	return query.MeasureLeafAccessesSetPool(tree.LeafRectSet(), spheres, pool)
 }

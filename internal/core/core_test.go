@@ -8,6 +8,7 @@ import (
 	"hdidx/internal/dataset"
 	"hdidx/internal/disk"
 	"hdidx/internal/mbr"
+	"hdidx/internal/par"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
 )
@@ -397,14 +398,14 @@ func TestClassifyPoints(t *testing.T) {
 		{4.4, 4.4}, // outside: closer to box 1
 	}
 	out := make([]int, len(pts))
-	classifyPoints(pts, mbr.NewRectSet(boxes), out, false)
+	classifyPoints(pts, mbr.NewRectSet(boxes), out, false, par.Pool{})
 	want := []int{0, 1, 0, 1}
 	for i := range want {
 		if out[i] != want[i] {
 			t.Errorf("point %d assigned to %d, want %d", i, out[i], want[i])
 		}
 	}
-	classifyPoints(pts, mbr.NewRectSet(boxes), out, true)
+	classifyPoints(pts, mbr.NewRectSet(boxes), out, true, par.Pool{})
 	wantDiscard := []int{0, 1, -1, -1}
 	for i := range wantDiscard {
 		if out[i] != wantDiscard[i] {

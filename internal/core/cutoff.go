@@ -49,7 +49,7 @@ func PredictCutoff(pf *disk.PointFile, cfg Config) (Prediction, error) {
 	}
 	p.IOSeconds = p.IO.CostSeconds(d.Params())
 	sp = cfg.Trace.Span(PhaseIntersect)
-	countIntersections(&p, up.spheres)
+	countIntersections(&p, up.spheres, cfg.pool())
 	sp.End()
 	p.Phases = cfg.Trace.Phases()
 	return p, nil

@@ -5,7 +5,7 @@ import (
 
 	"hdidx/internal/disk"
 	"hdidx/internal/mbr"
-	"hdidx/internal/query"
+	"hdidx/internal/par"
 	"hdidx/internal/rtree"
 )
 
@@ -76,7 +76,7 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 		// Classify in parallel against the static grown pages, then
 		// apply the bookkeeping box growth sequentially.
 		assign = assign[:len(kept)]
-		classifyPoints(kept, grownSet, assign, cfg.DiscardOutside)
+		classifyPoints(kept, grownSet, assign, cfg.DiscardOutside, cfg.pool())
 		for i, p := range kept {
 			b := assign[i]
 			if b < 0 {
@@ -133,6 +133,7 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 			LeafCap: ceff * zeta,
 			DirCap:  dirCap,
 			Height:  up.leafLevel,
+			Workers: cfg.Workers,
 		})
 		compensate := safeCompensation(ceff, zeta)
 		for _, r := range lower.LeafRects() {
@@ -160,7 +161,7 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 	}
 	p.IOSeconds = p.IO.CostSeconds(d.Params())
 	sp = cfg.Trace.Span(PhaseIntersect)
-	countIntersections(&p, up.spheres)
+	countIntersections(&p, up.spheres, cfg.pool())
 	sp.End()
 	p.Phases = cfg.Trace.Phases()
 	return p, nil
@@ -170,9 +171,9 @@ func PredictResampled(pf *disk.PointFile, cfg Config) (Prediction, error) {
 // it, or the closest box by MinDist when none contains it. With
 // discardOutside, points contained in no box get -1 instead. The
 // assignment runs the flat early-exit classifier in parallel over
-// points.
-func classifyPoints(pts [][]float64, boxes *mbr.RectSet, out []int, discardOutside bool) {
-	query.ParallelFor(len(pts), func(i int) {
+// points on pool.
+func classifyPoints(pts [][]float64, boxes *mbr.RectSet, out []int, discardOutside bool, pool par.Pool) {
+	pool.For(len(pts), func(i int) {
 		best, contained := boxes.Classify(pts[i])
 		if discardOutside && !contained {
 			best = -1

@@ -70,7 +70,7 @@ func buildUpper(pf *disk.PointFile, cfg Config, needLower bool) (*upperResult, e
 	sp = cfg.Trace.Span(PhaseSampleScan)
 	var scanner *query.SphereScanner
 	if cfg.FixedRadius == 0 {
-		scanner = query.NewSphereScanner(queryPoints, cfg.K)
+		scanner = query.NewSphereScanner(queryPoints, cfg.K).UsePool(cfg.pool())
 	}
 	reservoir := dataset.NewReservoir(m, cfg.Rng)
 	chunk := scanChunk(m)
@@ -107,6 +107,7 @@ func buildUpper(pf *disk.PointFile, cfg Config, needLower bool) (*upperResult, e
 		LeafCap: topo.SubtreeCapacity(leafLevel) * sigmaUpper,
 		DirCap:  float64(topo.EffDirCapacity()),
 		Height:  hUpper,
+		Workers: cfg.Workers,
 	}
 	upper := rtree.Build(reservoir.Sample(), params)
 	sp.End()

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestServeExperiment(t *testing.T) {
+	opt := Options{Scale: 0.01, Queries: 40, K: 5, Seed: 1}
+	r, err := Serve(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Served != int64(4*opt.Queries) {
+		t.Fatalf("served %d queries, want %d", r.Served, 4*opt.Queries)
+	}
+	if r.Generations < 2 {
+		t.Fatalf("only %d generations — the writer never republished", r.Generations)
+	}
+	if r.Retired != r.Generations-1 {
+		t.Fatalf("%d retired of %d generations, want all but the live one", r.Retired, r.Generations)
+	}
+	if r.KNN.Count != r.Served {
+		t.Fatalf("latency count %d != served %d", r.KNN.Count, r.Served)
+	}
+	if r.KNN.P50 <= 0 || r.KNN.P99 < r.KNN.P50 || r.KNN.Max < r.KNN.P99 {
+		t.Fatalf("implausible latency digest %+v", r.KNN)
+	}
+	if r.Throughput <= 0 {
+		t.Fatalf("throughput %v", r.Throughput)
+	}
+	if r.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencySketch accumulates a stream of durations and reports order
+// statistics over it. It keeps a fixed-size uniform reservoir (Vitter's
+// algorithm R with a deterministic xorshift replacement stream), so
+// memory stays bounded however long the server runs while quantile
+// estimates stay unbiased. All methods are safe for concurrent use —
+// the serving layer records one observation per query from many
+// goroutines.
+type LatencySketch struct {
+	mu    sync.Mutex
+	count int64
+	sum   time.Duration
+	max   time.Duration
+	buf   []time.Duration
+	limit int
+	rng   uint64
+}
+
+// DefaultSketchSize is the reservoir capacity used when
+// NewLatencySketch is given a non-positive size. 4096 durations keep
+// the p99 estimate within a fraction of a percent of the true rank at
+// typical serving volumes, for 32 KB of memory.
+const DefaultSketchSize = 4096
+
+// NewLatencySketch returns a sketch with the given reservoir capacity
+// (DefaultSketchSize when size <= 0).
+func NewLatencySketch(size int) *LatencySketch {
+	if size <= 0 {
+		size = DefaultSketchSize
+	}
+	return &LatencySketch{
+		buf:   make([]time.Duration, 0, size),
+		limit: size,
+		rng:   0x9e3779b97f4a7c15, // fixed seed: sketches are reproducible per process
+	}
+}
+
+// Observe records one duration.
+func (s *LatencySketch) Observe(d time.Duration) {
+	s.mu.Lock()
+	s.count++
+	s.sum += d
+	if d > s.max {
+		s.max = d
+	}
+	if len(s.buf) < s.limit {
+		s.buf = append(s.buf, d)
+	} else {
+		// Replace a random slot with probability limit/count
+		// (algorithm R): draw j uniform in [0, count) and keep the
+		// observation only when j lands inside the reservoir.
+		s.rng ^= s.rng << 13
+		s.rng ^= s.rng >> 7
+		s.rng ^= s.rng << 17
+		if j := int64(s.rng % uint64(s.count)); j < int64(s.limit) {
+			s.buf[j] = d
+		}
+	}
+	s.mu.Unlock()
+}
+
+// LatencySummary is a point-in-time digest of a LatencySketch.
+type LatencySummary struct {
+	// Count is the total number of observations (not the reservoir
+	// occupancy).
+	Count int64
+	// Mean is the exact mean over all observations.
+	Mean time.Duration
+	// P50, P95, and P99 are quantile estimates from the reservoir
+	// (exact while Count is within the reservoir capacity).
+	P50, P95, P99 time.Duration
+	// Max is the exact maximum over all observations.
+	Max time.Duration
+}
+
+// Summary digests the sketch. A sketch with no observations returns
+// the zero summary.
+func (s *LatencySketch) Summary() LatencySummary {
+	s.mu.Lock()
+	out := LatencySummary{Count: s.count, Max: s.max}
+	if s.count > 0 {
+		out.Mean = s.sum / time.Duration(s.count)
+	}
+	sorted := append([]time.Duration(nil), s.buf...)
+	s.mu.Unlock()
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out.P50 = quantileOf(sorted, 0.50)
+	out.P95 = quantileOf(sorted, 0.95)
+	out.P99 = quantileOf(sorted, 0.99)
+	return out
+}
+
+// quantileOf returns the nearest-rank q-quantile of a sorted sample.
+func quantileOf(sorted []time.Duration, q float64) time.Duration {
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencySketchExactWithinCapacity(t *testing.T) {
+	s := NewLatencySketch(1000)
+	// 1..100 ms: quantiles are exact while the reservoir holds all
+	// observations.
+	for i := 1; i <= 100; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	sum := s.Summary()
+	if sum.Count != 100 {
+		t.Fatalf("count %d", sum.Count)
+	}
+	if sum.Max != 100*time.Millisecond {
+		t.Fatalf("max %v", sum.Max)
+	}
+	if want := 50500 * time.Microsecond; sum.Mean != want {
+		t.Fatalf("mean %v, want %v", sum.Mean, want)
+	}
+	if sum.P50 < 49*time.Millisecond || sum.P50 > 51*time.Millisecond {
+		t.Fatalf("p50 %v", sum.P50)
+	}
+	if sum.P95 < 94*time.Millisecond || sum.P95 > 96*time.Millisecond {
+		t.Fatalf("p95 %v", sum.P95)
+	}
+	if sum.P99 < 98*time.Millisecond || sum.P99 > 100*time.Millisecond {
+		t.Fatalf("p99 %v", sum.P99)
+	}
+	if sum.P50 > sum.P95 || sum.P95 > sum.P99 || sum.P99 > sum.Max {
+		t.Fatalf("quantiles out of order: %+v", sum)
+	}
+}
+
+func TestLatencySketchEmpty(t *testing.T) {
+	s := NewLatencySketch(0)
+	if sum := s.Summary(); sum != (LatencySummary{}) {
+		t.Fatalf("empty sketch summary %+v", sum)
+	}
+}
+
+func TestLatencySketchOverflowStaysBounded(t *testing.T) {
+	s := NewLatencySketch(64)
+	// Feed far more than capacity from a fixed distribution; the
+	// reservoir must stay at 64 entries, keep exact count/mean/max,
+	// and report quantiles inside the observed range.
+	for i := 0; i < 10000; i++ {
+		s.Observe(time.Duration(1+i%100) * time.Millisecond)
+	}
+	if n := len(s.buf); n != 64 {
+		t.Fatalf("reservoir grew to %d", n)
+	}
+	sum := s.Summary()
+	if sum.Count != 10000 {
+		t.Fatalf("count %d", sum.Count)
+	}
+	if sum.Max != 100*time.Millisecond {
+		t.Fatalf("max %v", sum.Max)
+	}
+	if sum.P50 < 1*time.Millisecond || sum.P50 > 100*time.Millisecond {
+		t.Fatalf("p50 %v outside the observed range", sum.P50)
+	}
+	if sum.P50 > sum.P95 || sum.P95 > sum.P99 || sum.P99 > sum.Max {
+		t.Fatalf("quantiles out of order: %+v", sum)
+	}
+}
+
+func TestLatencySketchConcurrent(t *testing.T) {
+	s := NewLatencySketch(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Observe(time.Duration(1+(g*500+i)%50) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sum := s.Summary(); sum.Count != 4000 {
+		t.Fatalf("count %d, want 4000", sum.Count)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"hdidx/internal/par"
 	"hdidx/internal/rtree"
 )
 
@@ -129,6 +130,12 @@ var flatPool = sync.Pool{New: func() interface{} { return &flatScratch{} }}
 // the k nearest points (closest first, distance ties broken by
 // lexicographic point order). It is bit-identical to the pointer
 // oracle KNNSearch in radius, access counts, and neighbor set.
+//
+// Aliasing contract: the returned Neighbors are row views into
+// ft.Points — zero-copy on purpose, since the measurement paths only
+// read them. Callers that hand neighbors to code that may mutate or
+// retain them past the tree's lifetime must copy (the hdidx facade
+// and the serving layer do).
 func KNNSearchFlat(ft *rtree.FlatTree, q []float64, k int) Result {
 	sc := flatPool.Get().(*flatScratch)
 	res := knnFlat(ft, q, k, true, sc)
@@ -250,8 +257,14 @@ func RangeSearchFlat(ft *rtree.FlatTree, s Sphere) (points int, res Result) {
 // consume radii and page counts, so the per-leaf candidate
 // accumulation is skipped entirely. Queries run in parallel.
 func MeasureKNNFlat(ft *rtree.FlatTree, queryPoints [][]float64, k int) []Result {
+	return MeasureKNNFlatPool(ft, queryPoints, k, par.Pool{})
+}
+
+// MeasureKNNFlatPool is MeasureKNNFlat with the fan-out bounded by
+// pool.
+func MeasureKNNFlatPool(ft *rtree.FlatTree, queryPoints [][]float64, k int, pool par.Pool) []Result {
 	out := make([]Result, len(queryPoints))
-	parallelChunks(len(queryPoints), func(lo, hi int) {
+	pool.Chunks(len(queryPoints), func(lo, hi int) {
 		sc := flatPool.Get().(*flatScratch)
 		for i := lo; i < hi; i++ {
 			out[i] = knnFlat(ft, queryPoints[i], k, false, sc)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"hdidx/internal/par"
 	"hdidx/internal/vec"
 )
 
@@ -234,16 +235,17 @@ const cacheBlockBytes = 256 << 10
 // CPU supports it, the SIMD scan takes over (kernels_avx2_amd64.go),
 // packing the rows directly; otherwise the rows are flattened into a
 // vec.Matrix and the scalar query-blocked scan below runs. Both are
-// bit-identical to the reference.
-func computeSpheresFlat(data, queryPoints [][]float64, k int) []Sphere {
+// bit-identical to the reference. The fan-out over queries is bounded
+// by pool (the zero pool follows the process default).
+func computeSpheresFlat(data, queryPoints [][]float64, k int, pool par.Pool) []Sphere {
 	if k <= 0 || k > len(data) {
 		panic(fmt.Sprintf("query: k = %d outside [1, %d]", k, len(data)))
 	}
 	spheres := make([]Sphere, len(queryPoints))
-	if computeSpheresSIMD(data, queryPoints, k, spheres) {
+	if computeSpheresSIMD(data, queryPoints, k, spheres, pool) {
 		return spheres
 	}
-	computeSpheresScalar(vec.NewMatrix(data), queryPoints, k, spheres)
+	computeSpheresScalar(vec.NewMatrix(data), queryPoints, k, spheres, pool)
 	return spheres
 }
 
@@ -255,13 +257,13 @@ func computeSpheresFlat(data, queryPoints [][]float64, k int) []Sphere {
 // query the rows still arrive in ascending order with the same
 // carried bound, so the radii are bit-identical to independent full
 // scans.
-func computeSpheresScalar(m vec.Matrix, queryPoints [][]float64, k int, spheres []Sphere) {
+func computeSpheresScalar(m vec.Matrix, queryPoints [][]float64, k int, spheres []Sphere, pool par.Pool) {
 	dim := m.Dim
 	batchRows := cacheBlockBytes / (dim * 8)
 	if batchRows < scanBatch {
 		batchRows = scanBatch
 	}
-	parallelChunks(len(queryPoints), func(lo, hi int) {
+	pool.Chunks(len(queryPoints), func(lo, hi int) {
 		set := heapSetPool.Get().(*heapSet)
 		heaps := set.grow(hi-lo, k)
 		n := m.Len()

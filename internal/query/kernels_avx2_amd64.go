@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"hdidx/internal/par"
 )
 
 // SIMD variant of the sphere scan. Rows are packed into lane-wide
@@ -137,7 +139,7 @@ var simdScratchPool = sync.Pool{New: func() interface{} { return &simdScratch{} 
 // batch is touched (the bound refreshing from the heap in between),
 // so the dataset streams from memory once per worker instead of once
 // per query.
-func computeSpheresSIMD(data, queryPoints [][]float64, k int, spheres []Sphere) bool {
+func computeSpheresSIMD(data, queryPoints [][]float64, k int, spheres []Sphere, pool par.Pool) bool {
 	lanes := simdLanes
 	if lanes == 0 || len(data) < lanes {
 		return false
@@ -157,7 +159,7 @@ func computeSpheresSIMD(data, queryPoints [][]float64, k int, spheres []Sphere) 
 	groupBytes := uintptr(lanes*dimPad) * 8
 	nchunks := dimPad / dimChunk
 	batchGroups := scanBatch / lanes
-	parallelChunks(len(queryPoints), func(lo, hi int) {
+	pool.Chunks(len(queryPoints), func(lo, hi int) {
 		sc := simdScratchPool.Get().(*simdScratch)
 		if cap(sc.qpad) < dimPad {
 			sc.qpad = make([]float64, dimPad)

@@ -2,8 +2,10 @@
 
 package query
 
+import "hdidx/internal/par"
+
 // computeSpheresSIMD is a no-op on architectures without the vector
 // kernels; the scalar query-blocked scan handles everything.
-func computeSpheresSIMD(data, queryPoints [][]float64, k int, spheres []Sphere) bool {
+func computeSpheresSIMD(data, queryPoints [][]float64, k int, spheres []Sphere, pool par.Pool) bool {
 	return false
 }

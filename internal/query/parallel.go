@@ -8,6 +8,10 @@ import "hdidx/internal/par"
 // predictors' CPU-bound loops (sphere scans, point classification).
 // Worker panics resurface on the caller as a *par.WorkerPanic with
 // the worker's stack attached.
+//
+// Callers that carry a per-call width (hdidx.EstimateOptions.Workers)
+// use the Pool-suffixed entry points of this package, or par.Pool
+// directly, instead of the process-wide pool.
 func ParallelFor(n int, f func(int)) { par.For(n, f) }
 
 // parallelFor is the package-internal alias kept for the kernels.

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"hdidx/internal/mbr"
+	"hdidx/internal/par"
 	"hdidx/internal/rtree"
 	"hdidx/internal/vec"
 )
@@ -59,7 +60,14 @@ func KNNBruteRadius(pts [][]float64, q []float64, k int) float64 {
 // and each query runs the blocked early-exit scan kernel; queries are
 // processed in parallel chunks with pooled scratch.
 func ComputeSpheres(data [][]float64, queryPoints [][]float64, k int) []Sphere {
-	return computeSpheresFlat(data, queryPoints, k)
+	return computeSpheresFlat(data, queryPoints, k, par.Pool{})
+}
+
+// ComputeSpheresPool is ComputeSpheres with the fan-out over queries
+// bounded by pool instead of the process-wide worker pool — the entry
+// point for callers carrying a per-call worker count.
+func ComputeSpheresPool(data [][]float64, queryPoints [][]float64, k int, pool par.Pool) []Sphere {
+	return computeSpheresFlat(data, queryPoints, k, pool)
 }
 
 // DensityBiasedWorkload draws q query points uniformly from the
@@ -109,8 +117,14 @@ func MeasureLeafAccesses(t *rtree.Tree, spheres []Sphere) []float64 {
 // (Tree.LeafRectSet), flat trees (FlatTree.LeafRectSet), and the
 // predictors' mini-index leaf layouts. Queries run in parallel.
 func MeasureLeafAccessesSet(set *mbr.RectSet, spheres []Sphere) []float64 {
+	return MeasureLeafAccessesSetPool(set, spheres, par.Pool{})
+}
+
+// MeasureLeafAccessesSetPool is MeasureLeafAccessesSet with the
+// fan-out bounded by pool.
+func MeasureLeafAccessesSetPool(set *mbr.RectSet, spheres []Sphere, pool par.Pool) []float64 {
 	out := make([]float64, len(spheres))
-	parallelChunks(len(spheres), func(lo, hi int) {
+	pool.Chunks(len(spheres), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = float64(set.CountSphereIntersections(spheres[i].Center, spheres[i].Radius))
 		}

@@ -3,6 +3,7 @@ package query
 import (
 	"math"
 
+	"hdidx/internal/par"
 	"hdidx/internal/vec"
 )
 
@@ -16,6 +17,7 @@ type SphereScanner struct {
 	heaps       []*boundedMaxHeap
 	seen        int
 	buf         vec.Matrix // flattened current chunk, reused across chunks
+	pool        par.Pool   // fan-out bound; zero = process default
 }
 
 // NewSphereScanner prepares a scanner for the given query points and k.
@@ -30,6 +32,13 @@ func NewSphereScanner(queryPoints [][]float64, k int) *SphereScanner {
 	return &SphereScanner{queryPoints: queryPoints, k: k, heaps: heaps}
 }
 
+// UsePool bounds the scanner's per-chunk fan-out by pool instead of
+// the process-wide worker pool and returns the scanner for chaining.
+func (s *SphereScanner) UsePool(pool par.Pool) *SphereScanner {
+	s.pool = pool
+	return s
+}
+
 // Process feeds one chunk of the dataset to the scanner. The chunk is
 // flattened once into the scanner's reusable row-major buffer, then
 // every query advances its heap with the early-exit scan kernel (the
@@ -42,7 +51,7 @@ func (s *SphereScanner) Process(chunk [][]float64) {
 	}
 	s.buf.Reset()
 	s.buf.AppendRows(chunk)
-	parallelChunks(len(s.queryPoints), func(lo, hi int) {
+	s.pool.Chunks(len(s.queryPoints), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			scanKNNFlat(s.buf.Data, s.buf.Dim, s.queryPoints[i], s.heaps[i])
 		}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"hdidx/internal/obs"
+	"hdidx/internal/par"
 	"hdidx/internal/rtree"
 )
 
@@ -14,9 +15,15 @@ import (
 // ComputeSpheresTraced is ComputeSpheres under a "workload.spheres"
 // span.
 func ComputeSpheresTraced(data, queryPoints [][]float64, k int, tr *obs.Trace) []Sphere {
+	return ComputeSpheresTracedPool(data, queryPoints, k, par.Pool{}, tr)
+}
+
+// ComputeSpheresTracedPool is ComputeSpheresTraced with the fan-out
+// bounded by pool.
+func ComputeSpheresTracedPool(data, queryPoints [][]float64, k int, pool par.Pool, tr *obs.Trace) []Sphere {
 	sp := tr.Span("workload.spheres")
 	defer sp.End()
-	return ComputeSpheres(data, queryPoints, k)
+	return ComputeSpheresPool(data, queryPoints, k, pool)
 }
 
 // MeasureKNNTraced is MeasureKNN under a "measure.knn" span.
@@ -29,7 +36,13 @@ func MeasureKNNTraced(t *rtree.Tree, queryPoints [][]float64, k int, tr *obs.Tra
 // MeasureLeafAccessesTraced is MeasureLeafAccesses under a
 // "measure.leaves" span.
 func MeasureLeafAccessesTraced(t *rtree.Tree, spheres []Sphere, tr *obs.Trace) []float64 {
+	return MeasureLeafAccessesTracedPool(t, spheres, par.Pool{}, tr)
+}
+
+// MeasureLeafAccessesTracedPool is MeasureLeafAccessesTraced with the
+// fan-out bounded by pool.
+func MeasureLeafAccessesTracedPool(t *rtree.Tree, spheres []Sphere, pool par.Pool, tr *obs.Trace) []float64 {
 	sp := tr.Span("measure.leaves")
 	defer sp.End()
-	return MeasureLeafAccesses(t, spheres)
+	return MeasureLeafAccessesSetPool(t.LeafRectSet(), spheres, pool)
 }

@@ -1,0 +1,485 @@
+// Package serve is the concurrent query-serving core: an epoch-based
+// reader/writer split over the index structures of this repository.
+//
+// Readers never block and never take a lock on the data they search.
+// Every query runs against an immutable rtree.FlatTree snapshot
+// published through an atomic pointer; a reader pins the snapshot for
+// the duration of one search with an acquire/validate protocol (load,
+// increment the pin count, re-check the pointer and the retired flag,
+// retry on failure), so a snapshot can never be observed after it was
+// retired. The single logical writer ingests points into a
+// write-optimized rtree.DynamicTree (R*-tree insertion) under a mutex
+// and periodically re-flattens it into a fresh snapshot that is
+// swapped in atomically — an LSM-flavored split between the ingest
+// format and the read format. A superseded snapshot retires exactly
+// once, when its last pin drains (or immediately at swap time if it
+// was unpinned); retire-exactly-once is a compare-and-swap on the
+// retired flag.
+//
+// k-NN queries are admitted through a bounded queue and served in
+// batches: a single batcher goroutine drains up to Config.BatchSize
+// waiting queries, pins one snapshot, and answers all of them in one
+// shared best-first traversal (query.KNNSearchFlatBatch), amortizing
+// the directory walk and leaf loads over the batch. A full queue
+// rejects immediately with ErrOverloaded — backpressure surfaces to
+// the caller instead of growing an unbounded backlog. Range queries
+// are point lookups by comparison and run directly on a pinned
+// snapshot without batching.
+//
+// Per-query latencies (queue wait plus search) are recorded in
+// obs.LatencySketch reservoirs; Stats reports p50/p95/p99.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdidx/internal/obs"
+	"hdidx/internal/query"
+	"hdidx/internal/rtree"
+)
+
+// ErrOverloaded reports that the admission queue was full; the caller
+// should back off and retry.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// ErrClosed reports an operation on a closed server.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config parameterizes a Server. The zero value of every field selects
+// a sensible default.
+type Config struct {
+	// Geometry is the page geometry of the index (the dynamic ingest
+	// tree derives its page capacities from it). A zero Geometry uses
+	// rtree.NewGeometry over the dimensionality of the initial points.
+	Geometry rtree.Geometry
+	// FlattenEvery is the number of ingested points between snapshot
+	// publications (default 1024). Smaller values mean fresher reads
+	// and more flatten work; ingested points are invisible to queries
+	// until the next publication (call Flush to force one).
+	FlattenEvery int
+	// QueueDepth bounds the k-NN admission queue (default 256). A full
+	// queue rejects with ErrOverloaded.
+	QueueDepth int
+	// BatchSize is the maximum number of queued k-NN queries answered
+	// by one shared traversal (default 16, capped at 64 — the width of
+	// the traversal's interest bitmask).
+	BatchSize int
+	// SketchSize is the latency reservoir capacity per sketch
+	// (default obs.DefaultSketchSize).
+	SketchSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlattenEvery <= 0 {
+		c.FlattenEvery = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchSize > 64 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// snapshot is one published epoch: an immutable flat tree plus the
+// pin accounting that decides when it may retire.
+type snapshot struct {
+	ft  *rtree.FlatTree
+	gen int64
+
+	pins       atomic.Int64
+	superseded atomic.Bool
+	retired    atomic.Bool
+
+	onRetire func(*snapshot)
+}
+
+// release drops one pin; the last pin out of a superseded snapshot
+// retires it.
+func (sn *snapshot) release() {
+	if sn.pins.Add(-1) == 0 && sn.superseded.Load() {
+		sn.tryRetire()
+	}
+}
+
+// tryRetire retires the snapshot if it is unpinned; the CAS makes the
+// retirement exactly-once even when the writer (at swap time) and the
+// last reader (at release time) race to perform it.
+func (sn *snapshot) tryRetire() {
+	if sn.pins.Load() == 0 && sn.retired.CompareAndSwap(false, true) {
+		if sn.onRetire != nil {
+			sn.onRetire(sn)
+		}
+	}
+}
+
+// Server is the epoch-based serving core. Create one with New; all
+// methods are safe for concurrent use by any number of goroutines.
+type Server struct {
+	cfg Config
+	dim int
+
+	cur atomic.Pointer[snapshot]
+
+	mu      sync.Mutex // guards dyn, pending, and publication order
+	dyn     *rtree.DynamicTree
+	pending int
+
+	queue chan *knnCall
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	closed atomic.Bool
+
+	gens      atomic.Int64
+	retires   atomic.Int64
+	overloads atomic.Int64
+
+	knnLat   *obs.LatencySketch
+	rangeLat *obs.LatencySketch
+}
+
+type knnCall struct {
+	q     []float64
+	k     int
+	start time.Time
+	reply chan knnReply
+}
+
+type knnReply struct {
+	res Result
+	err error
+}
+
+// Result is the outcome of one k-NN query.
+type Result struct {
+	// Neighbors are the k nearest points, closest first. They are
+	// private copies — retaining or mutating them is always safe.
+	Neighbors [][]float64
+	// LeafAccesses and DirAccesses count the pages this query was
+	// charged during the (possibly shared) traversal.
+	LeafAccesses int
+	DirAccesses  int
+	// Radius is the distance to the k-th neighbor.
+	Radius float64
+	// Generation identifies the snapshot that served the query.
+	Generation int64
+}
+
+// New starts a server over the initial points (which may be empty when
+// Config.Geometry says how wide future points are). The initial points
+// are ingested through the same dynamic tree as later inserts and
+// published as generation 1.
+func New(initial [][]float64, cfg Config) (*Server, error) {
+	g := cfg.Geometry
+	if g.Dim < 1 {
+		if len(initial) == 0 || len(initial[0]) == 0 {
+			return nil, fmt.Errorf("serve: no geometry and no initial points to derive one from")
+		}
+		g = rtree.NewGeometry(len(initial[0]))
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		dim:      g.Dim,
+		dyn:      rtree.NewDynamic(g),
+		queue:    make(chan *knnCall, cfg.QueueDepth),
+		done:     make(chan struct{}),
+		knnLat:   obs.NewLatencySketch(cfg.SketchSize),
+		rangeLat: obs.NewLatencySketch(cfg.SketchSize),
+	}
+	for i, p := range initial {
+		if len(p) != s.dim {
+			return nil, fmt.Errorf("serve: point %d has dimension %d, want %d", i, len(p), s.dim)
+		}
+		s.dyn.Insert(clonePoint(p))
+	}
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.batchLoop()
+	return s, nil
+}
+
+func clonePoint(p []float64) []float64 {
+	cp := make([]float64, len(p))
+	copy(cp, p)
+	return cp
+}
+
+// acquire pins the current snapshot. The increment-then-validate loop
+// guarantees the returned snapshot is not retired and cannot retire
+// before the matching release: a snapshot only retires when unpinned
+// and superseded, and validation re-checks both the pointer and the
+// retired flag after the pin landed.
+func (s *Server) acquire() *snapshot {
+	for {
+		sn := s.cur.Load()
+		sn.pins.Add(1)
+		if s.cur.Load() == sn && !sn.retired.Load() {
+			return sn
+		}
+		// Lost a race with a publication; the stray pin may be the
+		// last one out and must honor retirement.
+		sn.release()
+	}
+}
+
+// publishLocked flattens the dynamic tree into a fresh snapshot and
+// swaps it in. Caller holds s.mu.
+func (s *Server) publishLocked() {
+	ft := s.dyn.Flatten()
+	sn := &snapshot{
+		ft:       ft,
+		gen:      s.gens.Add(1),
+		onRetire: func(*snapshot) { s.retires.Add(1) },
+	}
+	old := s.cur.Swap(sn)
+	s.pending = 0
+	if old != nil {
+		old.superseded.Store(true)
+		old.tryRetire()
+	}
+}
+
+// Insert ingests one point. The point is copied; it becomes visible to
+// queries at the next publication (every Config.FlattenEvery inserts,
+// or on Flush).
+func (s *Server) Insert(p []float64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if len(p) != s.dim {
+		return fmt.Errorf("serve: point dimension %d, index dimension %d", len(p), s.dim)
+	}
+	cp := clonePoint(p)
+	s.mu.Lock()
+	s.dyn.Insert(cp)
+	s.pending++
+	if s.pending >= s.cfg.FlattenEvery {
+		s.publishLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Flush publishes any ingested-but-unpublished points immediately.
+func (s *Server) Flush() {
+	s.mu.Lock()
+	if s.pending > 0 {
+		s.publishLocked()
+	}
+	s.mu.Unlock()
+}
+
+// KNN answers one k-NN query. The call enqueues on the admission queue
+// (rejecting with ErrOverloaded when full) and is answered by the
+// batcher, possibly sharing its traversal with other in-flight
+// queries.
+func (s *Server) KNN(q []float64, k int) (Result, error) {
+	if s.closed.Load() {
+		return Result{}, ErrClosed
+	}
+	if len(q) != s.dim {
+		return Result{}, fmt.Errorf("serve: query dimension %d, index dimension %d", len(q), s.dim)
+	}
+	c := &knnCall{q: q, k: k, start: time.Now(), reply: make(chan knnReply, 1)}
+	select {
+	case s.queue <- c:
+	default:
+		s.overloads.Add(1)
+		return Result{}, ErrOverloaded
+	}
+	select {
+	case r := <-c.reply:
+		return r.res, r.err
+	case <-s.done:
+		// The server is closing; the batcher may still have answered
+		// this call before exiting.
+		select {
+		case r := <-c.reply:
+			return r.res, r.err
+		default:
+			return Result{}, ErrClosed
+		}
+	}
+}
+
+// RangeCount returns the number of indexed points within radius of
+// center on the current snapshot, with the access counts of the
+// search.
+func (s *Server) RangeCount(center []float64, radius float64) (n int, generation int64, err error) {
+	if s.closed.Load() {
+		return 0, 0, ErrClosed
+	}
+	if len(center) != s.dim {
+		return 0, 0, fmt.Errorf("serve: query dimension %d, index dimension %d", len(center), s.dim)
+	}
+	if radius < 0 {
+		return 0, 0, fmt.Errorf("serve: negative radius")
+	}
+	start := time.Now()
+	sn := s.acquire()
+	n, _ = query.RangeSearchFlat(sn.ft, query.Sphere{Center: center, Radius: radius})
+	gen := sn.gen
+	sn.release()
+	s.rangeLat.Observe(time.Since(start))
+	return n, gen, nil
+}
+
+// batchLoop is the single batcher goroutine: it blocks for one call,
+// then opportunistically drains up to BatchSize-1 more and answers
+// them all in one shared traversal.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	calls := make([]*knnCall, 0, s.cfg.BatchSize)
+	for {
+		select {
+		case <-s.done:
+			return
+		case c := <-s.queue:
+			calls = append(calls[:0], c)
+		drain:
+			for len(calls) < s.cfg.BatchSize {
+				select {
+				case c2 := <-s.queue:
+					calls = append(calls, c2)
+				default:
+					break drain
+				}
+			}
+			s.serveBatch(calls)
+		}
+	}
+}
+
+// serveBatch answers the calls against one pinned snapshot.
+func (s *Server) serveBatch(calls []*knnCall) {
+	sn := s.acquire()
+	ft := sn.ft
+	// Validate k against the snapshot actually being searched — the
+	// snapshot is the authority on what it can serve.
+	valid := calls[:0:0]
+	var qs [][]float64
+	var ks []int
+	for _, c := range calls {
+		if c.k < 1 || c.k > ft.NumPoints {
+			c.reply <- knnReply{err: fmt.Errorf("serve: k=%d outside [1, %d]", c.k, ft.NumPoints)}
+			continue
+		}
+		valid = append(valid, c)
+		qs = append(qs, c.q)
+		ks = append(ks, c.k)
+	}
+	if len(valid) > 0 {
+		results := query.KNNSearchFlatBatch(ft, qs, ks)
+		for i, c := range valid {
+			r := results[i]
+			res := Result{
+				Neighbors:    copyNeighbors(r.Neighbors, ft.Dim),
+				LeafAccesses: r.LeafAccesses,
+				DirAccesses:  r.DirAccesses,
+				Radius:       r.Radius,
+				Generation:   sn.gen,
+			}
+			s.knnLat.Observe(time.Since(c.start))
+			c.reply <- knnReply{res: res}
+		}
+	}
+	sn.release()
+}
+
+// copyNeighbors materializes private copies of neighbor rows, which
+// alias the snapshot's packed point matrix (the KNNSearchFlat aliasing
+// contract). One backing array serves all rows.
+func copyNeighbors(nbrs [][]float64, dim int) [][]float64 {
+	if len(nbrs) == 0 {
+		return nbrs
+	}
+	backing := make([]float64, len(nbrs)*dim)
+	out := make([][]float64, len(nbrs))
+	for i, n := range nbrs {
+		row := backing[i*dim : (i+1)*dim : (i+1)*dim]
+		copy(row, n)
+		out[i] = row
+	}
+	return out
+}
+
+// Stats is a point-in-time digest of the server.
+type Stats struct {
+	// Points is the number of points in the current snapshot (ingested
+	// but unpublished points are excluded).
+	Points int
+	// Generation is the current snapshot's generation number.
+	Generation int64
+	// RetiredSnapshots counts superseded snapshots whose pins drained.
+	RetiredSnapshots int64
+	// Overloads counts ErrOverloaded rejections.
+	Overloads int64
+	// KNN and Range are the latency digests (queue wait plus search).
+	KNN, Range obs.LatencySummary
+}
+
+// Stats digests the server's counters and latency sketches.
+func (s *Server) Stats() Stats {
+	sn := s.acquire()
+	st := Stats{
+		Points:           sn.ft.NumPoints,
+		Generation:       sn.gen,
+		RetiredSnapshots: s.retires.Load(),
+		Overloads:        s.overloads.Load(),
+		KNN:              s.knnLat.Summary(),
+		Range:            s.rangeLat.Summary(),
+	}
+	sn.release()
+	return st
+}
+
+// Generation returns the current snapshot's generation number.
+func (s *Server) Generation() int64 {
+	sn := s.acquire()
+	g := sn.gen
+	sn.release()
+	return g
+}
+
+// Len returns the number of points in the current snapshot.
+func (s *Server) Len() int {
+	sn := s.acquire()
+	n := sn.ft.NumPoints
+	sn.release()
+	return n
+}
+
+// Dim returns the dimensionality the server indexes.
+func (s *Server) Dim() int { return s.dim }
+
+// Close stops the batcher and fails queued and future calls with
+// ErrClosed. Closing an already-closed server returns ErrClosed.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	close(s.done)
+	s.wg.Wait()
+	// Fail whatever the batcher left in the queue; s.closed stops new
+	// arrivals, so this drain terminates.
+	for {
+		select {
+		case c := <-s.queue:
+			c.reply <- knnReply{err: ErrClosed}
+		default:
+			return nil
+		}
+	}
+}

@@ -21,7 +21,12 @@
 # d=60) and writes BENCH_knn.json with the best ns/op of each path and
 # the pointer/flat speedup per dimensionality.
 #
-# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json KNNOUT=BENCH_knn.json]
+# Also runs the concurrent-serving benchmark (BenchmarkServe at the
+# root: readers querying the live snapshot while a writer ingests and
+# republishes) and writes BENCH_serve.json with the per-query latency
+# quantiles and the sustained throughput.
+#
+# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json KNNOUT=BENCH_knn.json SERVEOUT=BENCH_serve.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +36,7 @@ OUT="${OUT:-BENCH_kernels.json}"
 BUFOUT="${BUFOUT:-BENCH_buffer.json}"
 BUILDOUT="${BUILDOUT:-BENCH_build.json}"
 KNNOUT="${KNNOUT:-BENCH_knn.json}"
+SERVEOUT="${SERVEOUT:-BENCH_serve.json}"
 
 raw="$(go test -run='^$' -bench='^BenchmarkKernel' -benchtime="$BENCHTIME" -count="$COUNT" \
 	./internal/query/ ./internal/mbr/)"
@@ -194,3 +200,33 @@ END {
 
 echo "wrote $KNNOUT:"
 cat "$KNNOUT"
+
+serveraw="$(go test -run='^$' -bench='^BenchmarkServe$' -benchtime="$BENCHTIME" -count="$COUNT" .)"
+echo "$serveraw"
+
+echo "$serveraw" | awk -v out="$SERVEOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" '
+/^BenchmarkServe/ {
+	# custom metric columns come as "<value> <unit>" pairs; keep the
+	# best (lowest-latency / highest-throughput) run of each.
+	for (i = 4; i < NF; i++) {
+		u = $(i + 1); v = $i + 0
+		if (u == "p50_us" && (!("p50" in m) || v < m["p50"])) m["p50"] = v
+		if (u == "p95_us" && (!("p95" in m) || v < m["p95"])) m["p95"] = v
+		if (u == "p99_us" && (!("p99" in m) || v < m["p99"])) m["p99"] = v
+		if (u == "queries/s" && v > m["qps"]) m["qps"] = v
+		if (u == "generations" && v > m["gen"]) m["gen"] = v
+	}
+}
+END {
+	printf "{\n" > out
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"count\": %d,\n", count > out
+	printf "  \"knn_latency_us\": {\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f},\n", \
+		m["p50"], m["p95"], m["p99"] > out
+	printf "  \"throughput_qps\": %.1f,\n", m["qps"] > out
+	printf "  \"snapshot_generations\": %.0f\n}\n", m["gen"] > out
+}'
+
+echo "wrote $SERVEOUT:"
+cat "$SERVEOUT"

@@ -1,0 +1,157 @@
+package hdidx
+
+import (
+	"time"
+
+	"hdidx/internal/obs"
+	"hdidx/internal/serve"
+)
+
+// serveLatency is the internal latency digest the facade converts to
+// the exported LatencyStats.
+type serveLatency = obs.LatencySummary
+
+// This file surfaces the concurrent query-serving core
+// (internal/serve) through the facade: a Server holds an index that
+// answers k-NN and range queries from many goroutines, lock-free on
+// the read path, while ingesting new points concurrently. See
+// DESIGN.md §10 for the epoch/snapshot-swap architecture.
+
+// ErrOverloaded reports that the server's admission queue was full;
+// back off and retry. Test with errors.Is.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ErrServerClosed reports an operation on a closed Server. Test with
+// errors.Is.
+var ErrServerClosed = serve.ErrClosed
+
+// ServeConfig parameterizes NewServer. The zero value of every field
+// selects a sensible default.
+type ServeConfig struct {
+	// FlattenEvery is the number of ingested points between snapshot
+	// publications (default 1024). Inserted points become visible to
+	// queries at the next publication; Flush forces one.
+	FlattenEvery int
+	// QueueDepth bounds the k-NN admission queue (default 256); a full
+	// queue rejects with ErrOverloaded.
+	QueueDepth int
+	// BatchSize is the maximum number of concurrent k-NN queries
+	// answered by one shared index traversal (default 16, capped
+	// at 64).
+	BatchSize int
+}
+
+// Server is a concurrent serving handle over an index: any number of
+// goroutines may query and insert at once. Readers run against an
+// immutable snapshot and never block on writers; inserted points
+// become visible in batches when a fresh snapshot is published.
+type Server struct {
+	srv *serve.Server
+}
+
+// NewServer starts a server over points. The index page geometry is
+// configured with the same options as Build (WithPageBytes,
+// WithUtilization). Close the server when done to stop its batcher
+// goroutine.
+func NewServer(points [][]float64, scfg ServeConfig, opts ...Option) (*Server, error) {
+	dim, err := validatePoints(points)
+	if err != nil {
+		return nil, err
+	}
+	c, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(points, serve.Config{
+		Geometry:     c.geometry(dim),
+		FlattenEvery: scfg.FlattenEvery,
+		QueueDepth:   scfg.QueueDepth,
+		BatchSize:    scfg.BatchSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{srv: srv}, nil
+}
+
+// KNN returns the k nearest neighbors of q on the current snapshot,
+// closest first, with the search's page-access statistics. The
+// neighbors are private copies. Concurrent calls may be answered by
+// one shared traversal; a full admission queue returns ErrOverloaded.
+func (s *Server) KNN(q []float64, k int) ([][]float64, QueryStats, error) {
+	res, err := s.srv.KNN(q, k)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return res.Neighbors, QueryStats{
+		LeafAccesses: res.LeafAccesses,
+		DirAccesses:  res.DirAccesses,
+		Radius:       res.Radius,
+	}, nil
+}
+
+// RangeCount returns the number of points within radius of center on
+// the current snapshot.
+func (s *Server) RangeCount(center []float64, radius float64) (int, error) {
+	n, _, err := s.srv.RangeCount(center, radius)
+	return n, err
+}
+
+// Insert ingests one point (copied). It becomes visible to queries at
+// the next snapshot publication.
+func (s *Server) Insert(p []float64) error { return s.srv.Insert(p) }
+
+// Flush publishes any ingested-but-unpublished points immediately.
+func (s *Server) Flush() { s.srv.Flush() }
+
+// Len returns the number of points in the current snapshot.
+func (s *Server) Len() int { return s.srv.Len() }
+
+// Dim returns the dimensionality of the indexed points.
+func (s *Server) Dim() int { return s.srv.Dim() }
+
+// Close stops the server; queued and future calls fail with
+// ErrServerClosed.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// LatencyStats summarizes observed per-query latencies (queue wait
+// plus search time).
+type LatencyStats struct {
+	// Count is the number of queries observed.
+	Count int64
+	// Mean is the exact mean latency; P50/P95/P99 are reservoir
+	// quantile estimates; Max is the exact maximum.
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+// ServerStats is a point-in-time digest of a Server.
+type ServerStats struct {
+	// Points is the size of the current snapshot (ingested but
+	// unpublished points excluded).
+	Points int
+	// Generation counts snapshot publications since start.
+	Generation int64
+	// RetiredSnapshots counts superseded snapshots whose readers have
+	// all drained.
+	RetiredSnapshots int64
+	// Overloads counts queries rejected with ErrOverloaded.
+	Overloads int64
+	// KNN and Range are the per-query latency digests.
+	KNN, Range LatencyStats
+}
+
+// Stats digests the server's counters and latency sketches.
+func (s *Server) Stats() ServerStats {
+	st := s.srv.Stats()
+	conv := func(l serveLatency) LatencyStats {
+		return LatencyStats{Count: l.Count, Mean: l.Mean, P50: l.P50, P95: l.P95, P99: l.P99, Max: l.Max}
+	}
+	return ServerStats{
+		Points:           st.Points,
+		Generation:       st.Generation,
+		RetiredSnapshots: st.RetiredSnapshots,
+		Overloads:        st.Overloads,
+		KNN:              conv(st.KNN),
+		Range:            conv(st.Range),
+	}
+}
