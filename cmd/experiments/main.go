@@ -32,6 +32,7 @@ func main() {
 		m          = flag.Int("m", 0, "memory in points (default 10000*scale)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		bufPages   = flag.Int("buffer-pages", 0, "buffer-pool page budget for the measured experiments (0 = uncached)")
+		preBits    = flag.Int("prefilter-bits", 0, "quantized scan prefilter width in bits per dimension for the serving experiment (0 = off, max 8)")
 		workers    = flag.Int("workers", 0, "worker-pool width for parallel builds and concurrent sweep rows (0 = GOMAXPROCS)")
 		trace      = flag.Bool("trace", false, "collect per-phase traces and print them after the runs")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -41,7 +42,7 @@ func main() {
 	if *workers != 0 {
 		par.SetWorkers(*workers)
 	}
-	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed, BufferPages: *bufPages}
+	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed, BufferPages: *bufPages, PrefilterBits: *preBits}
 	if *trace {
 		obs.Default.SetEnabled(true)
 	}

@@ -29,6 +29,7 @@ func main() {
 		m          = flag.Int("m", 10000, "memory size in points")
 		bufPages   = flag.Int("buffer-pages", 0, "buffer-pool page budget for the simulated disk (0 = uncached; carved out of -m)")
 		pageBytes  = flag.Int("page", 8192, "index page size in bytes")
+		preBits    = flag.Int("prefilter-bits", 0, "quantized scan prefilter width of the modeled index (0 = off, max 8; never changes predicted accesses, accepted for config parity with serving deployments)")
 		radius     = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "worker-pool width for parallel build and scans (0 = GOMAXPROCS)")
@@ -59,7 +60,7 @@ func main() {
 	}
 	fmt.Printf("dataset: %d points, %d dimensions\n", d.N(), d.Dim())
 
-	p, err := hdidx.NewPredictor(d.Points, hdidx.WithPageBytes(*pageBytes))
+	p, err := hdidx.NewPredictor(d.Points, hdidx.WithPageBytes(*pageBytes), hdidx.WithPrefilterBits(*preBits))
 	if err != nil {
 		die(err)
 	}

@@ -53,8 +53,9 @@ var ErrFlatTree = core.ErrFlatTree
 type Option func(*config)
 
 type config struct {
-	pageBytes   int
-	utilization float64
+	pageBytes     int
+	utilization   float64
+	prefilterBits int
 }
 
 func newConfig(opts []Option) (config, error) {
@@ -67,6 +68,9 @@ func newConfig(opts []Option) (config, error) {
 	}
 	if c.utilization <= 0 || c.utilization > 1 {
 		return config{}, fmt.Errorf("hdidx: utilization %g outside (0, 1]", c.utilization)
+	}
+	if c.prefilterBits < 0 || c.prefilterBits > 8 {
+		return config{}, fmt.Errorf("hdidx: prefilter bits %d outside [0, 8]", c.prefilterBits)
 	}
 	return c, nil
 }
@@ -104,6 +108,19 @@ func WithUtilization(u float64) Option {
 	return func(c *config) { c.utilization = u }
 }
 
+// WithPrefilterBits enables the quantized scan prefilter of the flat
+// query snapshot: leaf points are scalar-quantized to the given number
+// of bits per dimension at build time, and k-NN searches use cheap
+// lower/upper distance bounds over the byte codes to skip most exact
+// distance evaluations. Results are bit-identical to the unfiltered
+// search; only speed changes. Valid widths are 0 (off, the default)
+// through 8; other values are rejected by Build. The predictor ignores
+// this option — it models page accesses, which the prefilter never
+// changes.
+func WithPrefilterBits(bits int) Option {
+	return func(c *config) { c.prefilterBits = bits }
+}
+
 func (c config) geometry(dim int) rtree.Geometry {
 	return rtree.Geometry{Dim: dim, PageBytes: c.pageBytes, Utilization: c.utilization}
 }
@@ -132,7 +149,8 @@ func Build(points [][]float64, opts ...Option) (*Index, error) {
 	cp := make([][]float64, len(points))
 	copy(cp, points)
 	tree := rtree.BuildTraced(cp, rtree.ParamsForGeometry(g), obs.TraceIfEnabled("hdidx.build", nil))
-	return &Index{tree: tree, flat: tree.Flatten(), g: g}, nil
+	flat := tree.FlattenWith(rtree.FlattenOptions{PrefilterBits: c.prefilterBits})
+	return &Index{tree: tree, flat: flat, g: g}, nil
 }
 
 // QueryStats reports the page accesses of one search.

@@ -102,6 +102,47 @@ func TestBuildOptions(t *testing.T) {
 	}
 }
 
+func TestBuildWithPrefilterBits(t *testing.T) {
+	pts := clusteredPoints(t, 0.01, 12)
+	plain, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := Build(pts, WithPrefilterBits(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prefilter is a pure scan accelerator: results and page-access
+	// accounting must be identical to the unfiltered index.
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		q := pts[rng.Intn(len(pts))]
+		a, ast, err := plain.KNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, bst, err := pre.KNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ast != bst {
+			t.Fatalf("stats %+v != unfiltered %+v", bst, ast)
+		}
+		for j := range a {
+			for d := range a[j] {
+				if a[j][d] != b[j][d] {
+					t.Fatalf("neighbor %d differs between prefiltered and plain index", j)
+				}
+			}
+		}
+	}
+	for _, bits := range []int{-1, 9} {
+		if _, err := Build(pts, WithPrefilterBits(bits)); err == nil {
+			t.Errorf("prefilter bits %d accepted, want error", bits)
+		}
+	}
+}
+
 func TestPredictorResampledMatchesMeasurement(t *testing.T) {
 	pts := clusteredPoints(t, 0.05, 5)
 	p, err := NewPredictor(pts)

@@ -42,6 +42,12 @@ type Options struct {
 	// The buffer-size sweep experiment ignores it and sweeps its own
 	// budgets.
 	BufferPages int
+	// PrefilterBits enables the quantized scan prefilter (bits per
+	// dimension, 0 = off) on the snapshots the serving experiment
+	// publishes. Results are bit-identical either way; only the
+	// latency and throughput numbers move. Other experiments measure
+	// page accesses, which the prefilter never changes, and ignore it.
+	PrefilterBits int
 }
 
 // withDefaults fills unset fields.

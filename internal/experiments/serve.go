@@ -31,6 +31,9 @@ type ServeResult struct {
 	Dim     int
 	Readers int
 	K       int
+	// PrefilterBits is the quantized-scan prefilter width the served
+	// snapshots carried (0 = unfiltered).
+	PrefilterBits int
 	// Served is the number of k-NN queries answered; Overloads counts
 	// admission-queue rejections (retried by the readers).
 	Served    int64
@@ -66,7 +69,12 @@ func Serve(opt Options) (ServeResult, error) {
 		k = len(data)
 	}
 
-	srv, err := serve.New(data, serve.Config{FlattenEvery: 128, QueueDepth: 256, BatchSize: 16})
+	srv, err := serve.New(data, serve.Config{
+		FlattenEvery:  128,
+		QueueDepth:    256,
+		BatchSize:     16,
+		PrefilterBits: opt.PrefilterBits,
+	})
 	if err != nil {
 		return ServeResult{}, fmt.Errorf("serve: %w", err)
 	}
@@ -140,27 +148,32 @@ func Serve(opt Options) (ServeResult, error) {
 
 	st := srv.Stats()
 	return ServeResult{
-		Dataset:     scaled.Name,
-		N:           len(data),
-		Dim:         dim,
-		Readers:     readers,
-		K:           k,
-		Served:      served.Load(),
-		Overloads:   st.Overloads,
-		Inserted:    inserts,
-		Generations: st.Generation,
-		Retired:     st.RetiredSnapshots,
-		Elapsed:     elapsed,
-		Throughput:  float64(served.Load()) / elapsed.Seconds(),
-		KNN:         st.KNN,
+		Dataset:       scaled.Name,
+		N:             len(data),
+		Dim:           dim,
+		Readers:       readers,
+		K:             k,
+		PrefilterBits: opt.PrefilterBits,
+		Served:        served.Load(),
+		Overloads:     st.Overloads,
+		Inserted:      inserts,
+		Generations:   st.Generation,
+		Retired:       st.RetiredSnapshots,
+		Elapsed:       elapsed,
+		Throughput:    float64(served.Load()) / elapsed.Seconds(),
+		KNN:           st.KNN,
 	}, nil
 }
 
 // String renders the experiment.
 func (r ServeResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Concurrent serving (extension) — %d readers vs 1 writer (%s, N=%d, d=%d, k=%d)\n",
-		r.Readers, r.Dataset, r.N, r.Dim, r.K)
+	filter := "unfiltered"
+	if r.PrefilterBits > 0 {
+		filter = fmt.Sprintf("prefilter %d bits", r.PrefilterBits)
+	}
+	fmt.Fprintf(&b, "Concurrent serving (extension) — %d readers vs 1 writer (%s, N=%d, d=%d, k=%d, %s)\n",
+		r.Readers, r.Dataset, r.N, r.Dim, r.K, filter)
 	fmt.Fprintf(&b, "served %d queries in %v (%.0f q/s), %d rejected for backpressure\n",
 		r.Served, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Overloads)
 	fmt.Fprintf(&b, "ingested %d points across %d snapshot generations (%d retired)\n",

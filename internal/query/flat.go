@@ -111,6 +111,7 @@ type flatScratch struct {
 	pq    nodeMinHeap
 	best  boundedMaxHeap
 	nbrs  neighborHeap
+	pre   prefilterScratch
 	dists []float64
 	stack []int32
 }
@@ -160,6 +161,8 @@ func knnFlat(ft *rtree.FlatTree, q []float64, k int, wantNeighbors bool, sc *fla
 	if wantNeighbors {
 		sc.nbrs.reset(k)
 	}
+	usePre := ft.PrefilterBits != 0
+	sc.pre.built = false
 	data, dim := ft.Points.Data, ft.Dim
 	sc.pq.push(0, ft.Rects.MinSqDist(0, q))
 	res := Result{}
@@ -172,6 +175,10 @@ func knnFlat(ft *rtree.FlatTree, q []float64, k int, wantNeighbors bool, sc *fla
 		if cc == 0 {
 			res.LeafAccesses++
 			start, end := int(ft.PtStart[node]), int(ft.PtStart[node]+ft.PtCount[node])
+			if usePre {
+				prefilterLeaf(ft, q, start, end, &sc.pre, &sc.best, &sc.nbrs, wantNeighbors, &res)
+				continue
+			}
 			for r := start; r < end; r++ {
 				row := data[r*dim : r*dim+dim]
 				d, ok := sqDistBounded(row, q, sc.best.max())

@@ -105,18 +105,21 @@ type batchScratch struct {
 	pq    batchMinHeap
 	best  []boundedMaxHeap
 	nbrs  []neighborHeap
-	dists []float64 // per-child MINDIST of the current query
-	minD  []float64 // per-child aggregate minimum over masked queries
-	masks []uint64  // per-child refined interest mask
+	pre   []prefilterScratch // per-query prefilter state, LUTs built lazily
+	dists []float64          // per-child MINDIST of the current query
+	minD  []float64          // per-child aggregate minimum over masked queries
+	masks []uint64           // per-child refined interest mask
 }
 
 func (sc *batchScratch) grow(b int) {
 	if cap(sc.best) < b {
 		sc.best = make([]boundedMaxHeap, b)
 		sc.nbrs = make([]neighborHeap, b)
+		sc.pre = make([]prefilterScratch, b)
 	}
 	sc.best = sc.best[:b]
 	sc.nbrs = sc.nbrs[:b]
+	sc.pre = sc.pre[:b]
 }
 
 // child returns per-child scratch buffers of at least cc entries.
@@ -172,7 +175,9 @@ func knnFlatBatch(ft *rtree.FlatTree, queries [][]float64, ks []int, out []Resul
 		}
 		sc.best[i].reset(ks[i])
 		sc.nbrs[i].reset(ks[i])
+		sc.pre[i].built = false
 	}
+	usePre := ft.PrefilterBits != 0
 	data, dim := ft.Points.Data, ft.Dim
 
 	sc.pq.reset()
@@ -225,6 +230,10 @@ func knnFlatBatch(ft *rtree.FlatTree, queries [][]float64, ks []int, out []Resul
 				qi := bits.TrailingZeros64(m)
 				out[qi].LeafAccesses++
 				q, best, nbrs := queries[qi], &sc.best[qi], &sc.nbrs[qi]
+				if usePre {
+					prefilterLeaf(ft, q, start, end, &sc.pre[qi], best, nbrs, true, &out[qi])
+					continue
+				}
 				for r := start; r < end; r++ {
 					row := data[r*dim : r*dim+dim]
 					d, ok := sqDistBounded(row, q, best.max())

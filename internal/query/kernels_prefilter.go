@@ -1,0 +1,47 @@
+package query
+
+// Bound kernels of the quantized scan prefilter. A flattened tree
+// built with FlattenOptions.PrefilterBits carries one byte code per
+// (dimension, point) in a column-major array; given a query, the
+// per-dimension bound tables (quant.BoundTables) translate a code
+// into the minimum and maximum squared-distance contribution of its
+// cell. The kernels below sum those contributions over all dimensions
+// for a contiguous row range — one leaf — producing a lower and an
+// upper bound on every leaf point's exact squared distance.
+//
+// Accumulation is per point in ascending dimension order, the same
+// term order as the exact sqDist/sqDistBounded evaluation. That makes
+// the bounds sound under floating point (see the internal/quant
+// package comment: single-subtraction bounds and monotone
+// round-to-nearest keep every rounded term, and therefore every
+// same-order rounded sum, on the correct side of the exact value) and
+// makes the AVX2 variant bit-identical to this scalar oracle: the
+// vector kernel processes four rows in four lanes, but each lane sums
+// its own row's per-dimension terms in the identical order.
+//
+// prefilterBounds is the dispatch point, following the CPUID pattern
+// of the sphere-scan kernels: the amd64 init swaps in the AVX2
+// gather kernel when the CPU supports it (kernels_prefilter_amd64.go);
+// everywhere else the scalar loop runs.
+var prefilterBounds = prefilterBoundsScalar
+
+// prefilterBoundsScalar writes, for each of the n rows start..start+n
+// of the column-major code array (column stride `stride` rows), the
+// summed lower and upper bound contributions into lo2 and hi2
+// (overwriting, not accumulating). lutLo and lutHi hold the cells
+// contributions of dimension d at [d*cells, (d+1)*cells).
+func prefilterBoundsScalar(codes []byte, stride, start, n, dim, cells int, lutLo, lutHi, lo2, hi2 []float64) {
+	lo2, hi2 = lo2[:n], hi2[:n]
+	for i := range lo2 {
+		lo2[i], hi2[i] = 0, 0
+	}
+	for d := 0; d < dim; d++ {
+		col := codes[d*stride+start : d*stride+start+n]
+		lo := lutLo[d*cells : (d+1)*cells]
+		hi := lutHi[d*cells : (d+1)*cells]
+		for i, c := range col {
+			lo2[i] += lo[c]
+			hi2[i] += hi[c]
+		}
+	}
+}

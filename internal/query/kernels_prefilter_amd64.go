@@ -1,0 +1,37 @@
+package query
+
+// AVX2 variant of the prefilter bound kernel. Four rows are processed
+// per block: their four code bytes for one dimension sit contiguously
+// in the column-major code array, zero-extend into four qword lane
+// indices, and two VGATHERQPD loads pull the four lower and four
+// upper LUT contributions, which accumulate into four-lane register
+// sums. Per lane that is exactly the scalar loop's add sequence in
+// ascending dimension order, so the results are bit-identical to
+// prefilterBoundsScalar (asserted by the kernel test). Rows beyond
+// the last full block of four fall through to the scalar kernel.
+
+func init() {
+	if simdLanes >= 4 {
+		prefilterBounds = prefilterBoundsAVX2
+	}
+}
+
+// prefilterBounds4 computes the bound sums of n4 rows (n4 a positive
+// multiple of four) starting at codes — already offset to the first
+// row of the first dimension's column — with columns stride bytes
+// apart, writing four-lane blocks to lo2 and hi2.
+//
+//go:noescape
+func prefilterBounds4(codes *byte, stride, n4, dim, cells int, lutLo, lutHi, lo2, hi2 *float64)
+
+func prefilterBoundsAVX2(codes []byte, stride, start, n, dim, cells int, lutLo, lutHi, lo2, hi2 []float64) {
+	n4 := n &^ 3
+	if n4 > 0 {
+		prefilterBounds4(&codes[start], stride, n4, dim, cells,
+			&lutLo[0], &lutHi[0], &lo2[0], &hi2[0])
+	}
+	if n4 < n {
+		prefilterBoundsScalar(codes, stride, start+n4, n-n4, dim, cells,
+			lutLo, lutHi, lo2[n4:n], hi2[n4:n])
+	}
+}

@@ -1,0 +1,65 @@
+// AVX2 kernel of the quantized prefilter bound scan. See
+// kernels_prefilter_amd64.go for the layout and the bit-identity
+// argument: per lane the gather + VADDPD sequence below performs
+// exactly the scalar lo2[i] += lut[d*cells+code] accumulation in
+// ascending dimension order, on four rows at once.
+
+#include "textflag.h"
+
+// func prefilterBounds4(codes *byte, stride, n4, dim, cells int,
+//                       lutLo, lutHi, lo2, hi2 *float64)
+//
+// For each block of four rows: walk the dimensions, loading the four
+// rows' code bytes of the dimension's column (contiguous — the code
+// array is column-major), zero-extending them to qword gather
+// indices, gathering the four lower and upper LUT contributions, and
+// accumulating them in two four-lane register sums, stored to lo2 /
+// hi2 when the dimensions are exhausted. VGATHERQPD consumes (zeroes)
+// its mask register, so the all-ones mask is rebuilt per gather.
+TEXT ·prefilterBounds4(SB), NOSPLIT, $0-72
+	MOVQ codes+0(FP), DI
+	MOVQ stride+8(FP), SI
+	MOVQ n4+16(FP), R10
+	MOVQ dim+24(FP), R9
+	MOVQ cells+32(FP), R8
+	SHLQ $3, R8                // LUT column bytes = cells * 8
+	MOVQ lo2+56(FP), R13
+	MOVQ hi2+64(FP), R14
+
+	XORQ R15, R15              // row block cursor i
+
+block4:
+	CMPQ R15, R10
+	JGE  done4
+	MOVQ DI, BX                // code cursor: &codes[i] of dimension 0
+	ADDQ R15, BX
+	MOVQ lutLo+40(FP), DX      // LUT cursors of dimension 0
+	MOVQ lutHi+48(FP), CX
+	MOVQ R9, AX                // dimensions remaining
+	VXORPD Y0, Y0, Y0          // four lower-bound sums
+	VXORPD Y1, Y1, Y1          // four upper-bound sums
+
+dim4:
+	VPMOVZXBQ (BX), Y2         // four code bytes -> four qword indices
+	VPCMPEQQ Y4, Y4, Y4        // all-ones gather mask (consumed below)
+	VGATHERQPD Y4, (DX)(Y2*8), Y3
+	VADDPD Y3, Y0, Y0
+	VPCMPEQQ Y5, Y5, Y5
+	VGATHERQPD Y5, (CX)(Y2*8), Y6
+	VADDPD Y6, Y1, Y1
+	ADDQ SI, BX                // next dimension's column
+	ADDQ R8, DX
+	ADDQ R8, CX
+	DECQ AX
+	JNZ  dim4
+
+	VMOVUPD Y0, (R13)
+	VMOVUPD Y1, (R14)
+	ADDQ $32, R13
+	ADDQ $32, R14
+	ADDQ $4, R15
+	JMP  block4
+
+done4:
+	VZEROUPPER
+	RET

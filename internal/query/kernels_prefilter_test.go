@@ -1,0 +1,55 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPrefilterKernelMatchesScalar asserts the dispatched bound
+// kernel (AVX2 where the CPU has it) is bit-identical to the scalar
+// oracle on random code arrays, strides, offsets, and LUTs —
+// including row counts that exercise the scalar tail after the
+// four-wide blocks.
+func TestPrefilterKernelMatchesScalar(t *testing.T) {
+	if simdLanes < 4 {
+		t.Skip("no SIMD kernel on this CPU; dispatch stays scalar")
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		stride := 1 + rng.Intn(200) // total rows
+		dim := 1 + rng.Intn(70)
+		bits := 1 + rng.Intn(8)
+		cells := 1 << bits
+		start := rng.Intn(stride)
+		n := 1 + rng.Intn(stride-start)
+
+		codes := make([]byte, dim*stride)
+		for i := range codes {
+			codes[i] = byte(rng.Intn(cells))
+		}
+		lutLo := make([]float64, dim*cells)
+		lutHi := make([]float64, dim*cells)
+		for i := range lutLo {
+			lutLo[i] = rng.Float64() * math.Pow(10, float64(rng.Intn(7)-3))
+			lutHi[i] = lutLo[i] + rng.Float64()
+		}
+
+		wantLo, wantHi := make([]float64, n), make([]float64, n)
+		prefilterBoundsScalar(codes, stride, start, n, dim, cells, lutLo, lutHi, wantLo, wantHi)
+		// Poisoned outputs: the kernel must overwrite, not accumulate.
+		gotLo, gotHi := make([]float64, n), make([]float64, n)
+		for i := range gotLo {
+			gotLo[i], gotHi[i] = math.NaN(), math.Inf(-1)
+		}
+		prefilterBounds(codes, stride, start, n, dim, cells, lutLo, lutHi, gotLo, gotHi)
+
+		for i := 0; i < n; i++ {
+			if math.Float64bits(gotLo[i]) != math.Float64bits(wantLo[i]) ||
+				math.Float64bits(gotHi[i]) != math.Float64bits(wantHi[i]) {
+				t.Fatalf("trial %d (stride=%d start=%d n=%d dim=%d cells=%d): row %d got [%v, %v], want [%v, %v]",
+					trial, stride, start, n, dim, cells, i, gotLo[i], gotHi[i], wantLo[i], wantHi[i])
+			}
+		}
+	}
+}

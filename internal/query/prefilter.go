@@ -1,0 +1,118 @@
+package query
+
+import (
+	"hdidx/internal/quant"
+	"hdidx/internal/rtree"
+)
+
+// Two-phase leaf visit of the quantized scan prefilter. When the flat
+// tree was built with FlattenOptions.PrefilterBits, every leaf visit
+// of the k-NN searches splits into:
+//
+//   - Phase 1: one bound-kernel call computes the lower and upper
+//     squared-distance bound of every point in the leaf from its byte
+//     codes (prefilterBounds over the column-major code array), and
+//     the k-th radius is tightened from the upper bounds: the pruning
+//     threshold T becomes the k-th smallest of the current exact heap
+//     values together with the leaf's upper bounds.
+//   - Phase 2: exact distances are evaluated only for points whose
+//     lower bound is at most T; the rest are skipped.
+//
+// Exactness. A skipped point p has exact(p) >= lo2(p) > T. T is the
+// k-th order statistic of (heap values ∪ upper bounds), and every
+// upper bound dominates its point's exact distance, so T is >= the
+// k-th smallest of (heap values ∪ exact leaf distances) — the value
+// the heap's bound settles to at end of leaf. exact(p) exceeds that
+// strictly, so p can never enter the end-of-leaf top-k (strictness
+// also defeats distance ties, so the (distance, lex) neighbor
+// tie-break never sees p either). The heap states at every leaf
+// boundary therefore match the unfiltered search's exactly, and with
+// them every traversal decision, access count, radius, and neighbor
+// list — the prefiltered search is bit-identical to the unfiltered
+// one (property-tested in prefilter_test.go). The bounds themselves
+// are sound under floating point by the internal/quant argument:
+// same-order summation of correctly-rounded dominating terms.
+//
+// The LUTs translating codes to bound contributions depend only on
+// the query, so they are built once on the first leaf the search
+// reaches and reused across leaves (pooled in the search scratch).
+
+// prefilterScratch holds the per-query state of the prefiltered leaf
+// visits: the bound tables, the per-leaf bound buffers, and the
+// threshold heap.
+type prefilterScratch struct {
+	lutLo, lutHi []float64
+	lo2, hi2     []float64
+	tight        boundedMaxHeap
+	built        bool
+}
+
+// ensureLUT builds the per-dimension bound tables for q once per
+// search.
+func (ps *prefilterScratch) ensureLUT(ft *rtree.FlatTree, q []float64) {
+	if ps.built {
+		return
+	}
+	cells := 1 << ft.PrefilterBits
+	need := ft.Dim * cells
+	if cap(ps.lutLo) < need {
+		ps.lutLo = make([]float64, need)
+		ps.lutHi = make([]float64, need)
+	}
+	ps.lutLo, ps.lutHi = ps.lutLo[:need], ps.lutHi[:need]
+	for d := 0; d < ft.Dim; d++ {
+		quant.BoundTables(ft.MarksFor(d), q[d], ps.lutLo[d*cells:(d+1)*cells], ps.lutHi[d*cells:(d+1)*cells])
+	}
+	ps.built = true
+}
+
+// bounds returns the per-leaf bound buffers, grown to n rows.
+func (ps *prefilterScratch) bounds(n int) (lo2, hi2 []float64) {
+	if cap(ps.lo2) < n {
+		ps.lo2 = make([]float64, n)
+		ps.hi2 = make([]float64, n)
+	}
+	return ps.lo2[:n], ps.hi2[:n]
+}
+
+// prefilterLeaf visits leaf rows [start, end) through the two-phase
+// bound scan, offering surviving exact distances to best (and nbrs
+// when wantNeighbors), and accounts the visit in res.
+func prefilterLeaf(ft *rtree.FlatTree, q []float64, start, end int,
+	ps *prefilterScratch, best *boundedMaxHeap, nbrs *neighborHeap,
+	wantNeighbors bool, res *Result) {
+	n := end - start
+	ps.ensureLUT(ft, q)
+	lo2, hi2 := ps.bounds(n)
+	cells := 1 << ft.PrefilterBits
+	prefilterBounds(ft.Codes, ft.NumPoints, start, n, ft.Dim, cells, ps.lutLo, ps.lutHi, lo2, hi2)
+
+	// Tighten: T is the k-th smallest of the current exact heap values
+	// and this leaf's upper bounds. Copying the heap's backing array
+	// preserves its shape, so the merge costs only the n offers.
+	ps.tight.reset(best.k)
+	ps.tight.vals = append(ps.tight.vals, best.vals...)
+	for _, h := range hi2 {
+		ps.tight.offer(h)
+	}
+	t := ps.tight.max()
+
+	res.PrefilterVisited += n
+	data, dim := ft.Points.Data, ft.Dim
+	for i := 0; i < n; i++ {
+		if lo2[i] > t {
+			res.PrefilterSkipped++
+			continue
+		}
+		r := start + i
+		row := data[r*dim : r*dim+dim]
+		d, ok := sqDistBounded(row, q, best.max())
+		if !ok {
+			continue
+		}
+		best.offer(d)
+		if wantNeighbors {
+			nbrs.offer(d, row)
+		}
+	}
+}

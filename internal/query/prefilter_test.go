@@ -1,0 +1,243 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hdidx/internal/rtree"
+)
+
+// TestKNNPrefilterBitIdentical is the bit-identity property suite of
+// the tentpole acceptance criteria: over random geometries (dims
+// 1–64, duplicated points forcing exact ties at the k-th radius, n
+// below the fanout) and every prefilter width, the prefiltered flat
+// search must agree with the unfiltered one on the radius (bitwise),
+// the leaf and directory access counts, and the neighbor list.
+func TestKNNPrefilterBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 120; trial++ {
+		data, tr := buildRandomTree(rng)
+		bits := 1 + rng.Intn(8)
+		plain := tr.Flatten()
+		pre := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: bits})
+		k := 1 + rng.Intn(30)
+		if k > len(data) {
+			k = len(data)
+		}
+		for qi := 0; qi < 4; qi++ {
+			var q []float64
+			if qi%2 == 0 {
+				q = data[rng.Intn(len(data))] // exact-tie-prone: a data point
+			} else {
+				q = uniformPoints(1, tr.Dim, rng.Int63())[0]
+			}
+			want := KNNSearchFlat(plain, q, k)
+			got := KNNSearchFlat(pre, q, k)
+			if got.Radius != want.Radius {
+				t.Fatalf("trial %d bits %d: radius %v != unfiltered %v", trial, bits, got.Radius, want.Radius)
+			}
+			if got.LeafAccesses != want.LeafAccesses || got.DirAccesses != want.DirAccesses {
+				t.Fatalf("trial %d bits %d: accesses %d/%d != unfiltered %d/%d", trial, bits,
+					got.LeafAccesses, got.DirAccesses, want.LeafAccesses, want.DirAccesses)
+			}
+			if !reflect.DeepEqual(got.Neighbors, want.Neighbors) {
+				t.Fatalf("trial %d bits %d: neighbors diverge\n  pre: %v\nplain: %v",
+					trial, bits, got.Neighbors, want.Neighbors)
+			}
+			if want.PrefilterVisited != 0 || want.PrefilterSkipped != 0 {
+				t.Fatalf("trial %d: unfiltered search reported prefilter counters %d/%d",
+					trial, want.PrefilterSkipped, want.PrefilterVisited)
+			}
+			if got.PrefilterVisited == 0 || got.PrefilterSkipped > got.PrefilterVisited {
+				t.Fatalf("trial %d bits %d: counters skipped=%d visited=%d",
+					trial, bits, got.PrefilterSkipped, got.PrefilterVisited)
+			}
+		}
+	}
+}
+
+// TestKNNPrefilterBatchBitIdentical runs the same bit-identity
+// property through KNNSearchFlatBatch, including batches above the
+// 64-query group width.
+func TestKNNPrefilterBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		data, tr := buildRandomTree(rng)
+		bits := 1 + rng.Intn(8)
+		plain := tr.Flatten()
+		pre := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: bits})
+		nq := 1 + rng.Intn(80) // crosses the 64-wide group split
+		if trial == 0 {
+			nq = 70
+		}
+		queries := make([][]float64, nq)
+		ks := make([]int, nq)
+		for i := range queries {
+			if i%2 == 0 {
+				queries[i] = data[rng.Intn(len(data))]
+			} else {
+				queries[i] = uniformPoints(1, tr.Dim, rng.Int63())[0]
+			}
+			ks[i] = 1 + rng.Intn(len(data))
+		}
+		want := KNNSearchFlatBatch(plain, queries, ks)
+		got := KNNSearchFlatBatch(pre, queries, ks)
+		for i := range queries {
+			if got[i].Radius != want[i].Radius {
+				t.Fatalf("trial %d bits %d query %d: radius %v != unfiltered %v",
+					trial, bits, i, got[i].Radius, want[i].Radius)
+			}
+			if got[i].LeafAccesses != want[i].LeafAccesses || got[i].DirAccesses != want[i].DirAccesses {
+				t.Fatalf("trial %d bits %d query %d: accesses %d/%d != unfiltered %d/%d", trial, bits, i,
+					got[i].LeafAccesses, got[i].DirAccesses, want[i].LeafAccesses, want[i].DirAccesses)
+			}
+			if !reflect.DeepEqual(got[i].Neighbors, want[i].Neighbors) {
+				t.Fatalf("trial %d bits %d query %d: neighbors diverge", trial, bits, i)
+			}
+			// The batch path must also match the single-query search.
+			one := KNNSearchFlat(pre, queries[i], ks[i])
+			if got[i].Radius != one.Radius || !reflect.DeepEqual(got[i].Neighbors, one.Neighbors) {
+				t.Fatalf("trial %d bits %d query %d: batch != single-query", trial, bits, i)
+			}
+		}
+	}
+}
+
+// TestPrefilterBoundsSoundOnTree is the kernel-level half of the
+// bound-soundness property (the pure quantizer half lives in
+// internal/quant): for every point row of prefiltered random trees,
+// the bound kernel's lower and upper bound must bracket the exact
+// squared distance, exactly — the dominance argument is not
+// approximate, so no epsilon.
+func TestPrefilterBoundsSoundOnTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 60; trial++ {
+		data, tr := buildRandomTree(rng)
+		for _, bits := range []int{1, 1 + rng.Intn(8), 8} {
+			ft := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: bits})
+			n, dim := ft.NumPoints, ft.Dim
+			cells := 1 << bits
+			var ps prefilterScratch
+			for qi := 0; qi < 3; qi++ {
+				var q []float64
+				if qi == 0 {
+					q = data[rng.Intn(len(data))]
+				} else {
+					q = uniformPoints(1, dim, rng.Int63())[0]
+				}
+				ps.built = false
+				ps.ensureLUT(ft, q)
+				lo2, hi2 := ps.bounds(n)
+				prefilterBounds(ft.Codes, n, 0, n, dim, cells, ps.lutLo, ps.lutHi, lo2, hi2)
+				for r := 0; r < n; r++ {
+					exact := sqDist(ft.Points.Row(r), q)
+					if !(lo2[r] <= exact && exact <= hi2[r]) {
+						t.Fatalf("trial %d bits %d row %d: bounds [%v, %v] do not bracket exact %v",
+							trial, bits, r, lo2[r], hi2[r], exact)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKNNPrefilterAllocs extends the allocation-budget guard to the
+// prefiltered search: the per-query LUTs, bound buffers, and
+// threshold heap all live in the pooled scratch, so a radii-only
+// prefiltered search still allocates nothing in steady state.
+func TestKNNPrefilterAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations")
+	}
+	data := uniformPoints(5000, 8, 53)
+	tr := rtree.Build(data, rtree.ParamsForGeometry(rtree.NewGeometry(8)))
+	ft := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: 6})
+	queries := uniformPoints(16, 8, 54)
+	sc := &flatScratch{}
+	for _, q := range queries {
+		knnFlat(ft, q, 21, true, sc) // size the scratch buffers
+	}
+	i := 0
+	radiiOnly := testing.AllocsPerRun(100, func() {
+		knnFlat(ft, queries[i%len(queries)], 21, false, sc)
+		i++
+	})
+	if radiiOnly != 0 {
+		t.Errorf("radii-only prefiltered k-NN: %v allocs/op, want 0", radiiOnly)
+	}
+	withNeighbors := testing.AllocsPerRun(100, func() {
+		knnFlat(ft, queries[i%len(queries)], 21, true, sc)
+		i++
+	})
+	if withNeighbors > 2 {
+		t.Errorf("neighbor-returning prefiltered k-NN: %v allocs/op, want <= 2", withNeighbors)
+	}
+}
+
+// TestPrefilterPrunesHighBits sanity-checks that the prefilter
+// actually skips work where it should win: with 8 bits on clustered
+// high-dimensional data, a meaningful fraction of exact evaluations
+// must be avoided.
+func TestPrefilterPrunesHighBits(t *testing.T) {
+	data := uniformPoints(20000, 16, 55)
+	tr := rtree.Build(data, rtree.ParamsForGeometry(rtree.NewGeometry(16)))
+	ft := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: 8})
+	var visited, skipped int
+	rng := rand.New(rand.NewSource(56))
+	for i := 0; i < 30; i++ {
+		res := KNNSearchFlat(ft, data[rng.Intn(len(data))], 21)
+		visited += res.PrefilterVisited
+		skipped += res.PrefilterSkipped
+	}
+	if visited == 0 {
+		t.Fatal("no leaf points visited")
+	}
+	frac := float64(skipped) / float64(visited)
+	t.Logf("avoided %.1f%% of exact evaluations (d16, 8 bits)", 100*frac)
+	if frac < 0.3 {
+		t.Errorf("prefilter avoided only %.1f%% of exact evaluations, expected > 30%%", 100*frac)
+	}
+	if math.IsNaN(frac) {
+		t.Error("NaN avoided fraction")
+	}
+}
+
+// benchmarkKNNPrefilter times the flat k-NN at one prefilter width
+// (bits = 0 is the unfiltered baseline) and reports the fraction of
+// exact point evaluations the bound scan avoided.
+func benchmarkKNNPrefilter(b *testing.B, dim, bits int) {
+	data := uniformPoints(50000, dim, int64(dim))
+	tr := rtree.Build(data, rtree.ParamsForGeometry(rtree.NewGeometry(dim)))
+	ft := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: bits})
+	queries := uniformPoints(100, dim, int64(dim)+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var visited, skipped int
+	for i := 0; i < b.N; i++ {
+		res := KNNSearchFlat(ft, queries[i%len(queries)], 21)
+		visited += res.PrefilterVisited
+		skipped += res.PrefilterSkipped
+	}
+	pct := 0.0
+	if visited > 0 {
+		pct = 100 * float64(skipped) / float64(visited)
+	}
+	b.ReportMetric(pct, "avoided_%")
+}
+
+// BenchmarkKNNPrefilter sweeps the prefilter widths of the acceptance
+// criteria at both reference dimensionalities; scripts/bench.sh
+// writes the results to BENCH_prefilter.json.
+func BenchmarkKNNPrefilter(b *testing.B) {
+	for _, dim := range []int{16, 60} {
+		for _, bits := range []int{0, 4, 6, 8} {
+			dim, bits := dim, bits
+			b.Run(fmt.Sprintf("d%d/b%d", dim, bits), func(b *testing.B) {
+				benchmarkKNNPrefilter(b, dim, bits)
+			})
+		}
+	}
+}

@@ -2,8 +2,10 @@ package rtree
 
 import (
 	"fmt"
+	"sort"
 
 	"hdidx/internal/mbr"
+	"hdidx/internal/quant"
 	"hdidx/internal/vec"
 )
 
@@ -51,7 +53,36 @@ type FlatTree struct {
 	// Points holds all leaf points packed in leaf order.
 	Points vec.Matrix
 
+	// PrefilterBits is the bits-per-dimension of the quantized
+	// VA-style prefilter over the packed points (0 when the tree was
+	// flattened without one). With b bits every point row carries one
+	// byte code per dimension addressing one of 2^b equi-populated
+	// quantizer cells; the flat k-NN search uses the codes to bound
+	// every leaf point's squared distance before paying for the exact
+	// evaluation (see internal/query's two-phase leaf visit).
+	PrefilterBits int
+	// Codes holds the cell codes column-major: Codes[d*NumPoints+r]
+	// is point row r's cell in dimension d. Column order keeps one
+	// leaf's codes for one dimension contiguous — the bound kernels
+	// stream a byte column per dimension over the leaf's row range.
+	Codes []byte
+	// Marks holds the per-dimension quantizer boundaries back to
+	// back: dimension d's 2^PrefilterBits+1 marks occupy
+	// Marks[d*(2^PrefilterBits+1):(d+1)*(2^PrefilterBits+1)]
+	// (MarksFor slices them out).
+	Marks []float64
+
 	leafRects *mbr.RectSet // view of the leaf tail of Rects
+}
+
+// FlattenOptions configures Tree.FlattenWith.
+type FlattenOptions struct {
+	// PrefilterBits enables the quantized scan prefilter with that
+	// many bits per dimension (1–8; codes are single bytes). 0 — the
+	// zero value — flattens without a prefilter. Values outside
+	// [0, 8] panic: the facade and the serving layer validate user
+	// input before it reaches here.
+	PrefilterBits int
 }
 
 // Flatten linearizes the tree into a FlatTree. The snapshot copies the
@@ -60,6 +91,15 @@ type FlatTree struct {
 // propagate. Flatten costs one BFS pass over the tree — callers on a
 // query hot path flatten once and share the result.
 func (t *Tree) Flatten() *FlatTree {
+	return t.FlattenWith(FlattenOptions{})
+}
+
+// FlattenWith is Flatten with options; FlattenOptions{} reproduces
+// Flatten exactly.
+func (t *Tree) FlattenWith(o FlattenOptions) *FlatTree {
+	if o.PrefilterBits < 0 || o.PrefilterBits > 8 {
+		panic(fmt.Sprintf("rtree: prefilter bits %d outside [0, 8]", o.PrefilterBits))
+	}
 	t.refresh()
 	if t.Root == nil {
 		return &FlatTree{}
@@ -102,7 +142,46 @@ func (t *Tree) Flatten() *FlatTree {
 	}
 	f.Rects = mbr.NewRectSet(rects)
 	f.leafRects = f.Rects.Slice(n-f.NumLeaves, f.NumLeaves)
+	if o.PrefilterBits > 0 && f.NumPoints > 0 {
+		f.buildPrefilter(o.PrefilterBits)
+	}
 	return f
+}
+
+// buildPrefilter quantizes the packed point matrix into bits-per-
+// dimension byte codes: per dimension, equi-populated marks from the
+// sorted column (the shared internal/quant math, identical to the
+// VA-file's), then one code byte per row. One pass per dimension over
+// the column keeps the writes into Codes sequential.
+func (f *FlatTree) buildPrefilter(bits int) {
+	cells := 1 << bits
+	n, dim := f.NumPoints, f.Dim
+	f.PrefilterBits = bits
+	f.Codes = make([]byte, dim*n)
+	f.Marks = make([]float64, dim*(cells+1))
+	col := make([]float64, n)
+	for d := 0; d < dim; d++ {
+		for r := 0; r < n; r++ {
+			col[r] = f.Points.Data[r*dim+d]
+		}
+		sort.Float64s(col)
+		m := f.Marks[d*(cells+1) : (d+1)*(cells+1)]
+		quant.Marks(m, col)
+		codes := f.Codes[d*n : (d+1)*n]
+		for r := 0; r < n; r++ {
+			codes[r] = byte(quant.Cell(m, f.Points.Data[r*dim+d]))
+		}
+	}
+}
+
+// MarksFor returns dimension d's quantizer boundaries (nil without a
+// prefilter).
+func (f *FlatTree) MarksFor(d int) []float64 {
+	if f.PrefilterBits == 0 {
+		return nil
+	}
+	w := (1 << f.PrefilterBits) + 1
+	return f.Marks[d*w : (d+1)*w]
 }
 
 // NumNodes returns the total number of nodes (directory plus leaf).

@@ -49,6 +49,12 @@ var ErrOverloaded = errors.New("serve: admission queue full")
 // ErrClosed reports an operation on a closed server.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrDeadline reports that a queued query waited past
+// Config.QueueTimeout before the batcher reached it. The query was
+// never searched; the caller should treat it like backpressure and
+// back off.
+var ErrDeadline = errors.New("serve: queued past deadline")
+
 // Config parameterizes a Server. The zero value of every field selects
 // a sensible default.
 type Config struct {
@@ -71,6 +77,20 @@ type Config struct {
 	// SketchSize is the latency reservoir capacity per sketch
 	// (default obs.DefaultSketchSize).
 	SketchSize int
+	// QueueTimeout bounds how long a k-NN query may wait on the
+	// admission queue. A query the batcher reaches after its deadline
+	// fails with ErrDeadline instead of occupying a batch slot, so a
+	// stalled or saturated batcher sheds stale work rather than
+	// serving answers nobody is waiting for. 0 (the default) disables
+	// the deadline.
+	QueueTimeout time.Duration
+	// PrefilterBits enables the quantized scan prefilter on published
+	// snapshots: each publication quantizes leaf points to this many
+	// bits per dimension and k-NN leaf scans skip points whose
+	// quantized lower bound proves them out of the top k. Results are
+	// bit-identical to the unfiltered search. Valid widths are 0 (off,
+	// the default) through 8; New rejects other values.
+	PrefilterBits int
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +162,7 @@ type Server struct {
 	gens      atomic.Int64
 	retires   atomic.Int64
 	overloads atomic.Int64
+	deadlines atomic.Int64
 
 	knnLat   *obs.LatencySketch
 	rangeLat *obs.LatencySketch
@@ -185,6 +206,12 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: no geometry and no initial points to derive one from")
 		}
 		g = rtree.NewGeometry(len(initial[0]))
+	}
+	if cfg.PrefilterBits < 0 || cfg.PrefilterBits > 8 {
+		return nil, fmt.Errorf("serve: prefilter bits %d outside [0, 8]", cfg.PrefilterBits)
+	}
+	if cfg.QueueTimeout < 0 {
+		return nil, fmt.Errorf("serve: negative queue timeout %v", cfg.QueueTimeout)
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -237,7 +264,7 @@ func (s *Server) acquire() *snapshot {
 // publishLocked flattens the dynamic tree into a fresh snapshot and
 // swaps it in. Caller holds s.mu.
 func (s *Server) publishLocked() {
-	ft := s.dyn.Flatten()
+	ft := s.dyn.FlattenWith(rtree.FlattenOptions{PrefilterBits: s.cfg.PrefilterBits})
 	sn := &snapshot{
 		ft:       ft,
 		gen:      s.gens.Add(1),
@@ -372,6 +399,14 @@ func (s *Server) serveBatch(calls []*knnCall) {
 	var qs [][]float64
 	var ks []int
 	for _, c := range calls {
+		if s.cfg.QueueTimeout > 0 && time.Since(c.start) > s.cfg.QueueTimeout {
+			// The query aged out on the queue; fail it without letting
+			// it occupy a batch slot so fresh work isn't displaced by
+			// answers nobody is waiting for anymore.
+			s.deadlines.Add(1)
+			c.reply <- knnReply{err: ErrDeadline}
+			continue
+		}
 		if c.k < 1 || c.k > ft.NumPoints {
 			c.reply <- knnReply{err: fmt.Errorf("serve: k=%d outside [1, %d]", c.k, ft.NumPoints)}
 			continue
@@ -426,6 +461,9 @@ type Stats struct {
 	RetiredSnapshots int64
 	// Overloads counts ErrOverloaded rejections.
 	Overloads int64
+	// Deadlines counts queries that aged past Config.QueueTimeout on
+	// the admission queue and failed with ErrDeadline.
+	Deadlines int64
 	// KNN and Range are the latency digests (queue wait plus search).
 	KNN, Range obs.LatencySummary
 }
@@ -438,6 +476,7 @@ func (s *Server) Stats() Stats {
 		Generation:       sn.gen,
 		RetiredSnapshots: s.retires.Load(),
 		Overloads:        s.overloads.Load(),
+		Deadlines:        s.deadlines.Load(),
 		KNN:              s.knnLat.Summary(),
 		Range:            s.rangeLat.Summary(),
 	}

@@ -195,6 +195,127 @@ func TestServeBackpressure(t *testing.T) {
 	}
 }
 
+func TestServeQueueTimeout(t *testing.T) {
+	// A hand-built server whose batcher is not running, standing in for
+	// a stalled or saturated one: queries age on the queue, and once the
+	// batcher gets to them, the stale ones must fail with ErrDeadline
+	// without occupying batch slots while fresh ones are still served.
+	s := &Server{
+		cfg:      Config{QueueDepth: 8, BatchSize: 8, FlattenEvery: 1024, QueueTimeout: 10 * time.Millisecond}.withDefaults(),
+		dim:      2,
+		dyn:      rtree.NewDynamic(rtree.NewGeometry(2)),
+		queue:    make(chan *knnCall, 8),
+		done:     make(chan struct{}),
+		knnLat:   obs.NewLatencySketch(16),
+		rangeLat: obs.NewLatencySketch(16),
+	}
+	s.dyn.Insert([]float64{0, 0})
+	s.dyn.Insert([]float64{1, 1})
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+
+	q := []float64{0.1, 0.1}
+	stale1 := &knnCall{q: q, k: 1, start: time.Now().Add(-time.Second), reply: make(chan knnReply, 1)}
+	stale2 := &knnCall{q: q, k: 1, start: time.Now().Add(-50 * time.Millisecond), reply: make(chan knnReply, 1)}
+	fresh := &knnCall{q: q, k: 1, start: time.Now(), reply: make(chan knnReply, 1)}
+	s.serveBatch([]*knnCall{stale1, stale2, fresh})
+
+	for i, c := range []*knnCall{stale1, stale2} {
+		r := <-c.reply
+		if !errors.Is(r.err, ErrDeadline) {
+			t.Fatalf("stale call %d: err = %v, want ErrDeadline", i, r.err)
+		}
+	}
+	r := <-fresh.reply
+	if r.err != nil {
+		t.Fatalf("fresh call failed: %v", r.err)
+	}
+	checkResult(t, q, 1, r.res)
+	if n := s.deadlines.Load(); n != 2 {
+		t.Fatalf("deadline counter %d, want 2", n)
+	}
+	if st := s.Stats(); st.Deadlines != 2 {
+		t.Fatalf("Stats().Deadlines = %d, want 2", st.Deadlines)
+	}
+}
+
+func TestServeQueueTimeoutDisabled(t *testing.T) {
+	// With QueueTimeout zero (the default) even ancient queue entries
+	// are served normally.
+	s := &Server{
+		cfg:      Config{QueueDepth: 4, BatchSize: 4, FlattenEvery: 1024}.withDefaults(),
+		dim:      2,
+		dyn:      rtree.NewDynamic(rtree.NewGeometry(2)),
+		queue:    make(chan *knnCall, 4),
+		done:     make(chan struct{}),
+		knnLat:   obs.NewLatencySketch(16),
+		rangeLat: obs.NewLatencySketch(16),
+	}
+	s.dyn.Insert([]float64{0, 0})
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+	c := &knnCall{q: []float64{0.2, 0.2}, k: 1, start: time.Now().Add(-time.Hour), reply: make(chan knnReply, 1)}
+	s.serveBatch([]*knnCall{c})
+	if r := <-c.reply; r.err != nil {
+		t.Fatalf("aged call with no deadline configured failed: %v", r.err)
+	}
+	if n := s.deadlines.Load(); n != 0 {
+		t.Fatalf("deadline counter %d, want 0", n)
+	}
+}
+
+func TestServeConfigValidation(t *testing.T) {
+	data := uniform(20, 3, 9)
+	if _, err := New(data, Config{PrefilterBits: 9}); err == nil {
+		t.Fatal("PrefilterBits 9 accepted, want error")
+	}
+	if _, err := New(data, Config{PrefilterBits: -1}); err == nil {
+		t.Fatal("PrefilterBits -1 accepted, want error")
+	}
+	if _, err := New(data, Config{QueueTimeout: -time.Second}); err == nil {
+		t.Fatal("negative QueueTimeout accepted, want error")
+	}
+}
+
+func TestServePrefilterMatchesUnfiltered(t *testing.T) {
+	// A server publishing prefiltered snapshots must answer every query
+	// identically to one publishing plain snapshots — the serving-layer
+	// face of the bit-identity property.
+	data := uniform(2000, 8, 10)
+	plain, err := New(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	pre, err := New(data, Config{PrefilterBits: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pre.Close()
+	for _, q := range uniform(20, 8, 11) {
+		a, err := plain.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pre.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Radius != b.Radius {
+			t.Fatalf("radius %v != unfiltered %v", b.Radius, a.Radius)
+		}
+		for i := range a.Neighbors {
+			for d := range a.Neighbors[i] {
+				if a.Neighbors[i][d] != b.Neighbors[i][d] {
+					t.Fatalf("neighbor %d differs between prefiltered and plain server", i)
+				}
+			}
+		}
+	}
+}
+
 func TestServeClose(t *testing.T) {
 	s, err := New(uniform(50, 3, 8), Config{})
 	if err != nil {

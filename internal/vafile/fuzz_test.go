@@ -14,6 +14,15 @@ import (
 func FuzzVAFileExactness(f *testing.F) {
 	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80}, uint8(3), uint8(2))
 	f.Add([]byte{0, 0, 0, 0, 255, 255}, uint8(1), uint8(1))
+	// Constant dimension: every quantile mark collapses to one value.
+	f.Add([]byte{7, 1, 7, 2, 7, 3, 7, 4}, uint8(2), uint8(8))
+	// All points identical: degenerate marks in both dimensions and a
+	// k-th radius of zero with maximal ties.
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(4), uint8(3))
+	// Boundary points at the extremes of the byte range, 1-bit cells.
+	f.Add([]byte{0, 255, 255, 0, 0, 0, 255, 255}, uint8(2), uint8(0))
+	// Two clusters with duplicates straddling a cell boundary.
+	f.Add([]byte{1, 1, 1, 2, 2, 1, 254, 254, 254, 253, 253, 254}, uint8(5), uint8(7))
 	f.Fuzz(func(t *testing.T, raw []byte, kRaw, bitsRaw uint8) {
 		if len(raw) < 4 {
 			return

@@ -1,0 +1,8 @@
+//go:build race
+
+package vafile
+
+// raceEnabled reports whether the race detector is active. The allocs
+// guard test skips under -race: the detector instruments allocations
+// and invalidates testing.AllocsPerRun budgets.
+const raceEnabled = true

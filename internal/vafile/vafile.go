@@ -20,10 +20,11 @@
 package vafile
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+
+	"hdidx/internal/quant"
 )
 
 // VAFile is a vector approximation file over a fixed dataset.
@@ -64,7 +65,9 @@ func Build(pts [][]float64, bits, pageBytes int) (*VAFile, error) {
 		approx:    make([][]uint32, len(pts)),
 	}
 	slices := 1 << bits
-	// Equi-populated marks per dimension from the sorted coordinates.
+	// Equi-populated marks per dimension from the sorted coordinates
+	// (the shared quantizer math in internal/quant — the flat-tree
+	// prefilter builds its codes from the same marks).
 	coord := make([]float64, len(pts))
 	for d := 0; d < dim; d++ {
 		for i, p := range pts {
@@ -72,17 +75,7 @@ func Build(pts [][]float64, bits, pageBytes int) (*VAFile, error) {
 		}
 		sort.Float64s(coord)
 		m := make([]float64, slices+1)
-		m[0] = coord[0]
-		m[slices] = math.Nextafter(coord[len(coord)-1], math.Inf(1))
-		for s := 1; s < slices; s++ {
-			m[s] = coord[(len(coord)*s)/slices]
-		}
-		// Guarantee non-decreasing marks (duplicates collapse slices).
-		for s := 1; s <= slices; s++ {
-			if m[s] < m[s-1] {
-				m[s] = m[s-1]
-			}
-		}
+		quant.Marks(m, coord)
 		v.marks[d] = m
 	}
 	for i, p := range pts {
@@ -97,17 +90,7 @@ func Build(pts [][]float64, bits, pageBytes int) (*VAFile, error) {
 
 // cell returns the slice index of coordinate x in dimension d.
 func (v *VAFile) cell(d int, x float64) uint32 {
-	m := v.marks[d]
-	lo, hi := 0, len(m)-1 // find s with m[s] <= x < m[s+1]
-	for lo+1 < hi {
-		mid := (lo + hi) / 2
-		if m[mid] <= x {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return uint32(lo)
+	return quant.Cell(v.marks[d], x)
 }
 
 // N returns the number of stored vectors.
@@ -129,19 +112,7 @@ func (v *VAFile) ApproximationPages() int {
 // between q and the point with approximation a.
 func (v *VAFile) bounds(q []float64, a []uint32) (lo2, hi2 float64) {
 	for d := 0; d < v.dim; d++ {
-		m := v.marks[d]
-		l, h := m[a[d]], m[a[d]+1]
-		x := q[d]
-		var lo, hi float64
-		switch {
-		case x < l:
-			lo, hi = l-x, h-x
-		case x > h:
-			lo, hi = x-h, x-l
-		default:
-			lo = 0
-			hi = math.Max(x-l, h-x)
-		}
+		lo, hi := quant.CellBounds(v.marks[d], a[d], q[d])
 		lo2 += lo * lo
 		hi2 += hi * hi
 	}
@@ -181,20 +152,30 @@ func (v *VAFile) KNNSearch(q []float64, k int) Result {
 		kthUpper.offer(hi2)
 	}
 	threshold := kthUpper.max()
-	cands := &candHeap{}
+	// Count survivors first so the candidate heap is sized exactly:
+	// together with the preallocated kSmallest heaps this keeps the
+	// whole search at a small constant number of allocations (the
+	// allocs guard test pins it).
+	nc := 0
+	for _, lo2 := range lo2s {
+		if lo2 <= threshold {
+			nc++
+		}
+	}
+	cands := make(candHeap, 0, nc)
 	for i, lo2 := range lo2s {
 		if lo2 <= threshold {
-			heap.Push(cands, candEntry{idx: i, lo2: lo2})
+			cands.push(candEntry{idx: i, lo2: lo2})
 		}
 	}
 	res := Result{
 		ApproximationPages: v.ApproximationPages(),
-		Candidates:         cands.Len(),
+		Candidates:         len(cands),
 	}
 	// Phase 2: refine in lower-bound order.
 	exact := newKSmallest(k)
-	for cands.Len() > 0 {
-		e := heap.Pop(cands).(candEntry)
+	for len(cands) > 0 {
+		e := cands.pop()
 		if exact.full() && e.lo2 > exact.max() {
 			break
 		}
@@ -221,7 +202,9 @@ type kSmallest struct {
 	vals []float64
 }
 
-func newKSmallest(k int) *kSmallest { return &kSmallest{k: k} }
+func newKSmallest(k int) *kSmallest {
+	return &kSmallest{k: k, vals: make([]float64, 0, k)}
+}
 
 func (h *kSmallest) full() bool { return len(h.vals) == h.k }
 
@@ -273,16 +256,48 @@ type candEntry struct {
 	lo2 float64
 }
 
+// candHeap is a concrete slice-backed binary min-heap over candidate
+// entries ordered by lower bound — no container/heap, so pushes append
+// plain structs instead of boxing every entry into an interface{}
+// allocation (the same de-boxing the traversal heaps got).
 type candHeap []candEntry
 
-func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].lo2 < h[j].lo2 }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candEntry)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (h *candHeap) push(e candEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].lo2 <= s[i].lo2 {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *candHeap) pop() candEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && s[l].lo2 < s[min].lo2 {
+			min = l
+		}
+		if r < last && s[r].lo2 < s[min].lo2 {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }

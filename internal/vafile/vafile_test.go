@@ -229,6 +229,32 @@ func TestScanCostIsDistributionIndependent(t *testing.T) {
 	}
 }
 
+// TestKNNSearchAllocs pins the allocation count of one search to the
+// fixed set of buffers it provisions up front (the per-scan lower
+// bounds, the two bounded heaps, and the exactly-sized candidate
+// heap). The concrete candHeap must not re-introduce the per-entry
+// interface{} boxing container/heap imposed: boxing alone would put
+// the count back in the hundreds on this workload.
+func TestKNNSearchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocs accounting is distorted under -race")
+	}
+	data := clusteredPoints(5000, 12, 21)
+	v, err := Build(data, 6, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[123]
+	allocs := testing.AllocsPerRun(20, func() {
+		v.KNNSearch(q, 10)
+	})
+	// lo2s + two kSmallest (struct + backing array each) + the
+	// candidate heap = 6; allow a little headroom.
+	if allocs > 8 {
+		t.Errorf("KNNSearch allocated %.1f times per run, want <= 8", allocs)
+	}
+}
+
 func BenchmarkVAFileKNN(b *testing.B) {
 	data := clusteredPoints(20000, 32, 14)
 	v, err := Build(data, 6, 8192)

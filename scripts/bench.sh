@@ -26,7 +26,18 @@
 # republishes) and writes BENCH_serve.json with the per-query latency
 # quantiles and the sustained throughput.
 #
-# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json KNNOUT=BENCH_knn.json SERVEOUT=BENCH_serve.json]
+# Also runs the quantized-prefilter sweep (BenchmarkKNNPrefilter in
+# internal/query, bits 0/4/6/8 at d=16 and d=60) and writes
+# BENCH_prefilter.json with the best ns/op, the fraction of exact
+# evaluations avoided, and the speedup of each width over the
+# unfiltered b0 baseline.
+#
+# Every BENCH_*.json records host_cpus (the machine's CPU count) and
+# gomaxprocs (the GOMAXPROCS the benchmarks actually ran at, taken
+# from the benchmark-name suffix) so numbers are never compared across
+# incomparable hosts unawares.
+#
+# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json KNNOUT=BENCH_knn.json SERVEOUT=BENCH_serve.json PREOUT=BENCH_prefilter.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,14 +48,17 @@ BUFOUT="${BUFOUT:-BENCH_buffer.json}"
 BUILDOUT="${BUILDOUT:-BENCH_build.json}"
 KNNOUT="${KNNOUT:-BENCH_knn.json}"
 SERVEOUT="${SERVEOUT:-BENCH_serve.json}"
+PREOUT="${PREOUT:-BENCH_prefilter.json}"
+PROCS="$(nproc 2>/dev/null || echo 1)"
 
 raw="$(go test -run='^$' -bench='^BenchmarkKernel' -benchtime="$BENCHTIME" -count="$COUNT" \
 	./internal/query/ ./internal/mbr/)"
 echo "$raw"
 
-echo "$raw" | awk -v out="$OUT" -v count="$COUNT" -v benchtime="$BENCHTIME" '
+echo "$raw" | awk -v out="$OUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
 /^BenchmarkKernel/ {
 	name = $1
+	if (match(name, /-[0-9]+$/)) gm = substr(name, RSTART + 1, RLENGTH - 1)
 	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
 	ns = $3 + 0
 	if (!(name in best) || ns < best[name]) best[name] = ns
@@ -55,6 +69,8 @@ END {
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
 	printf "  \"benchtime\": \"%s\",\n", benchtime > out
 	printf "  \"count\": %d,\n", count > out
+	printf "  \"host_cpus\": %d,\n", procs > out
+	printf "  \"gomaxprocs\": %d,\n", (gm + 0 < 1 ? 1 : gm + 0) > out
 	printf "  \"best_ns_per_op\": {\n" > out
 	for (i = 1; i <= n; i++) {
 		printf "    \"%s\": %.0f%s\n", order[i], best[order[i]], (i < n ? "," : "") > out
@@ -81,9 +97,10 @@ bufraw="$(go test -run='^$' -bench='^BenchmarkBuffer' -benchtime="$BENCHTIME" -c
 	./internal/disk/)"
 echo "$bufraw"
 
-echo "$bufraw" | awk -v out="$BUFOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" '
+echo "$bufraw" | awk -v out="$BUFOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
 /^BenchmarkBuffer\// {
 	name = $1
+	if (match(name, /-[0-9]+$/)) gm = substr(name, RSTART + 1, RLENGTH - 1)
 	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
 	ns = $3 + 0
 	if (!(name in best) || ns < best[name]) best[name] = ns
@@ -98,6 +115,8 @@ END {
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
 	printf "  \"benchtime\": \"%s\",\n", benchtime > out
 	printf "  \"count\": %d,\n", count > out
+	printf "  \"host_cpus\": %d,\n", procs > out
+	printf "  \"gomaxprocs\": %d,\n", (gm + 0 < 1 ? 1 : gm + 0) > out
 	printf "  \"pools\": {\n" > out
 	for (i = 1; i <= n; i++) {
 		name = order[i]
@@ -118,9 +137,10 @@ echo "$buildraw"
 sweepraw="$(go test -run='^$' -bench='^BenchmarkSweepWorkers' -benchtime="$BENCHTIME" -count="$COUNT" .)"
 echo "$sweepraw"
 
-printf '%s\n%s\n' "$buildraw" "$sweepraw" | awk -v out="$BUILDOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$(nproc 2>/dev/null || echo 1)" '
+printf '%s\n%s\n' "$buildraw" "$sweepraw" | awk -v out="$BUILDOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
 /^Benchmark(Build|Sweep)Workers\// {
 	name = $1
+	if (match(name, /-[0-9]+$/)) gm = substr(name, RSTART + 1, RLENGTH - 1)
 	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
 	sub(/^Benchmark(Build|Sweep)Workers\//, "", name)
 	ns = $3 + 0
@@ -133,6 +153,7 @@ END {
 	printf "  \"benchtime\": \"%s\",\n", benchtime > out
 	printf "  \"count\": %d,\n", count > out
 	printf "  \"host_cpus\": %d,\n", procs > out
+	printf "  \"gomaxprocs\": %d,\n", (gm + 0 < 1 ? 1 : gm + 0) > out
 	printf "  \"best_ns_per_op\": {\n" > out
 	for (i = 1; i <= n; i++) {
 		printf "    \"%s\": %.0f%s\n", order[i], best[order[i]], (i < n ? "," : "") > out
@@ -165,9 +186,10 @@ knnraw="$(go test -run='^$' -bench='^BenchmarkKNN(Pointer|Flat)/' -benchtime="$B
 	./internal/query/)"
 echo "$knnraw"
 
-echo "$knnraw" | awk -v out="$KNNOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" '
+echo "$knnraw" | awk -v out="$KNNOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
 /^BenchmarkKNN(Pointer|Flat)\// {
 	name = $1
+	if (match(name, /-[0-9]+$/)) gm = substr(name, RSTART + 1, RLENGTH - 1)
 	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
 	ns = $3 + 0
 	if (!(name in best) || ns < best[name]) best[name] = ns
@@ -178,6 +200,8 @@ END {
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
 	printf "  \"benchtime\": \"%s\",\n", benchtime > out
 	printf "  \"count\": %d,\n", count > out
+	printf "  \"host_cpus\": %d,\n", procs > out
+	printf "  \"gomaxprocs\": %d,\n", (gm + 0 < 1 ? 1 : gm + 0) > out
 	printf "  \"best_ns_per_op\": {\n" > out
 	for (i = 1; i <= n; i++) {
 		printf "    \"%s\": %.0f%s\n", order[i], best[order[i]], (i < n ? "," : "") > out
@@ -204,8 +228,9 @@ cat "$KNNOUT"
 serveraw="$(go test -run='^$' -bench='^BenchmarkServe$' -benchtime="$BENCHTIME" -count="$COUNT" .)"
 echo "$serveraw"
 
-echo "$serveraw" | awk -v out="$SERVEOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" '
+echo "$serveraw" | awk -v out="$SERVEOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
 /^BenchmarkServe/ {
+	if (match($1, /-[0-9]+$/)) gm = substr($1, RSTART + 1, RLENGTH - 1)
 	# custom metric columns come as "<value> <unit>" pairs; keep the
 	# best (lowest-latency / highest-throughput) run of each.
 	for (i = 4; i < NF; i++) {
@@ -222,6 +247,8 @@ END {
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
 	printf "  \"benchtime\": \"%s\",\n", benchtime > out
 	printf "  \"count\": %d,\n", count > out
+	printf "  \"host_cpus\": %d,\n", procs > out
+	printf "  \"gomaxprocs\": %d,\n", (gm + 0 < 1 ? 1 : gm + 0) > out
 	printf "  \"knn_latency_us\": {\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f},\n", \
 		m["p50"], m["p95"], m["p99"] > out
 	printf "  \"throughput_qps\": %.1f,\n", m["qps"] > out
@@ -230,3 +257,59 @@ END {
 
 echo "wrote $SERVEOUT:"
 cat "$SERVEOUT"
+
+preraw="$(go test -run='^$' -bench='^BenchmarkKNNPrefilter/' -benchtime="$BENCHTIME" -count="$COUNT" \
+	./internal/query/)"
+echo "$preraw"
+
+echo "$preraw" | awk -v out="$PREOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
+/^BenchmarkKNNPrefilter\// {
+	name = $1
+	if (match(name, /-[0-9]+$/)) gm = substr(name, RSTART + 1, RLENGTH - 1)
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	sub(/^BenchmarkKNNPrefilter\//, "", name)
+	ns = $3 + 0
+	if (!(name in best) || ns < best[name]) best[name] = ns
+	# the custom metric column: "<value> avoided_%"
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "avoided_%") avoided[name] = $i + 0
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n" > out
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"count\": %d,\n", count > out
+	printf "  \"host_cpus\": %d,\n", procs > out
+	printf "  \"gomaxprocs\": %d,\n", (gm + 0 < 1 ? 1 : gm + 0) > out
+	printf "  \"sweeps\": {\n" > out
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"best_ns_per_op\": %.0f, \"avoided_pct\": %.2f}%s\n", \
+			name, best[name], avoided[name], (i < n ? "," : "") > out
+	}
+	printf "  },\n" > out
+	# Speedup of each prefilter width over the unfiltered b0 baseline
+	# of the same dimensionality (>1 means the prefilter paid off).
+	printf "  \"speedups_vs_b0\": {\n" > out
+	m = split("d16 d60", dims, " ")
+	first = 1
+	for (i = 1; i <= m; i++) {
+		d = dims[i]
+		base = best[d "/b0"]
+		if (base <= 0) continue
+		for (j = 1; j <= n; j++) {
+			name = order[j]
+			if (index(name, d "/b") != 1 || name == d "/b0") continue
+			if (!first) printf ",\n" > out
+			sub("/", "_", name)
+			printf "    \"%s\": %.2f", name, base / best[order[j]] > out
+			first = 0
+		}
+	}
+	printf "\n  }\n}\n" > out
+}'
+
+echo "wrote $PREOUT:"
+cat "$PREOUT"

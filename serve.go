@@ -25,6 +25,11 @@ var ErrOverloaded = serve.ErrOverloaded
 // errors.Is.
 var ErrServerClosed = serve.ErrClosed
 
+// ErrDeadline reports that a k-NN query waited on the admission queue
+// past ServeConfig.QueueTimeout and was never searched; back off and
+// retry. Test with errors.Is.
+var ErrDeadline = serve.ErrDeadline
+
 // ServeConfig parameterizes NewServer. The zero value of every field
 // selects a sensible default.
 type ServeConfig struct {
@@ -39,6 +44,11 @@ type ServeConfig struct {
 	// answered by one shared index traversal (default 16, capped
 	// at 64).
 	BatchSize int
+	// QueueTimeout bounds how long a k-NN query may wait on the
+	// admission queue before the batcher reaches it; stale queries
+	// fail with ErrDeadline instead of occupying batch slots. 0 (the
+	// default) disables the deadline.
+	QueueTimeout time.Duration
 }
 
 // Server is a concurrent serving handle over an index: any number of
@@ -49,10 +59,10 @@ type Server struct {
 	srv *serve.Server
 }
 
-// NewServer starts a server over points. The index page geometry is
-// configured with the same options as Build (WithPageBytes,
-// WithUtilization). Close the server when done to stop its batcher
-// goroutine.
+// NewServer starts a server over points. The index page geometry and
+// the scan prefilter are configured with the same options as Build
+// (WithPageBytes, WithUtilization, WithPrefilterBits). Close the
+// server when done to stop its batcher goroutine.
 func NewServer(points [][]float64, scfg ServeConfig, opts ...Option) (*Server, error) {
 	dim, err := validatePoints(points)
 	if err != nil {
@@ -63,10 +73,12 @@ func NewServer(points [][]float64, scfg ServeConfig, opts ...Option) (*Server, e
 		return nil, err
 	}
 	srv, err := serve.New(points, serve.Config{
-		Geometry:     c.geometry(dim),
-		FlattenEvery: scfg.FlattenEvery,
-		QueueDepth:   scfg.QueueDepth,
-		BatchSize:    scfg.BatchSize,
+		Geometry:      c.geometry(dim),
+		FlattenEvery:  scfg.FlattenEvery,
+		QueueDepth:    scfg.QueueDepth,
+		BatchSize:     scfg.BatchSize,
+		QueueTimeout:  scfg.QueueTimeout,
+		PrefilterBits: c.prefilterBits,
 	})
 	if err != nil {
 		return nil, err
@@ -136,6 +148,9 @@ type ServerStats struct {
 	RetiredSnapshots int64
 	// Overloads counts queries rejected with ErrOverloaded.
 	Overloads int64
+	// Deadlines counts queries that aged past ServeConfig.QueueTimeout
+	// on the admission queue and failed with ErrDeadline.
+	Deadlines int64
 	// KNN and Range are the per-query latency digests.
 	KNN, Range LatencyStats
 }
@@ -151,6 +166,7 @@ func (s *Server) Stats() ServerStats {
 		Generation:       st.Generation,
 		RetiredSnapshots: st.RetiredSnapshots,
 		Overloads:        st.Overloads,
+		Deadlines:        st.Deadlines,
 		KNN:              conv(st.KNN),
 		Range:            conv(st.Range),
 	}
