@@ -526,6 +526,36 @@ func BenchmarkServe(b *testing.B) {
 	}
 }
 
+// BenchmarkPager runs the persistence extension: indexes saved to real
+// page-aligned snapshot files and the k-NN workload replayed through
+// the pager's ReadAt path, reporting the predictor's leaf accesses
+// against the file-measured page reads and whether every paged query
+// matched its in-memory twin bit for bit. scripts/bench.sh records
+// them in BENCH_pager.json.
+func BenchmarkPager(b *testing.B) {
+	opt := experiments.Options{Scale: 0.05, Queries: 100, K: 21, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Pager(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			identical := 0
+			for _, row := range res.Rows {
+				if row.BitIdentical {
+					identical++
+				}
+				label := fmt.Sprintf("d%d_%dB", row.Dim, row.PageBytes)
+				b.ReportMetric(row.PredictedAccesses, label+"_pred_leaf")
+				b.ReportMetric(row.MeasuredAccesses, label+"_meas_leaf")
+				b.ReportMetric(row.PagesPerQuery, label+"_pages_q")
+			}
+			b.ReportMetric(float64(identical), "identical_rows")
+		}
+	}
+}
+
 // BenchmarkIndexKNN measures the raw query throughput of the index
 // itself (micro-benchmark; not a paper artifact).
 func BenchmarkIndexKNN(b *testing.B) {

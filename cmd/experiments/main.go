@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment: fig2, table3, fig11, fig12, unif8, table4, fig9, fig10, sweepn, fig13, fig14, range, structures, dynamic, datasets, buffers, serve, or all")
+		run        = flag.String("run", "all", "experiment: fig2, table3, fig11, fig12, unif8, table4, fig9, fig10, sweepn, fig13, fig14, range, structures, dynamic, datasets, buffers, serve, pager, or all")
 		scale      = flag.Float64("scale", 0.1, "dataset scale factor")
 		queries    = flag.Int("queries", 0, "sample queries (default 500)")
 		k          = flag.Int("k", 0, "k of k-NN (default 21)")
@@ -54,7 +54,7 @@ func main() {
 
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
-		ids = []string{"fig2", "table3", "fig11", "fig12", "unif8", "table4", "fig9", "fig10", "sweepn", "fig13", "fig14", "range", "structures", "dynamic", "datasets", "buffers", "serve"}
+		ids = []string{"fig2", "table3", "fig11", "fig12", "unif8", "table4", "fig9", "fig10", "sweepn", "fig13", "fig14", "range", "structures", "dynamic", "datasets", "buffers", "serve", "pager"}
 	}
 	for _, id := range ids {
 		if err := runOne(strings.TrimSpace(id), opt); err != nil {
@@ -181,6 +181,12 @@ func runOne(id string, opt experiments.Options) error {
 		fmt.Print(r)
 	case "serve":
 		r, err := experiments.Serve(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "pager":
+		r, err := experiments.Pager(opt)
 		if err != nil {
 			return err
 		}

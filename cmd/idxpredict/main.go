@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"hdidx"
@@ -34,6 +35,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "worker-pool width for parallel build and scans (0 = GOMAXPROCS)")
 		measure    = flag.Bool("measure", false, "also build the full index in memory and measure the workload")
+		savePath   = flag.String("save", "", "build the index and save its query snapshot to this file (page-aligned, checksummed format)")
+		loadPath   = flag.String("load", "", "with -measure: measure the workload on an index opened from this snapshot file instead of rebuilding")
 		trace      = flag.Bool("trace", false, "print the per-phase cost breakdown of the prediction")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -95,9 +98,23 @@ func main() {
 		fmt.Print(est.PhaseReport())
 	}
 
+	if *savePath != "" {
+		ix, err := hdidx.Build(d.Points, hdidx.WithPageBytes(*pageBytes), hdidx.WithPrefilterBits(*preBits))
+		if err != nil {
+			die(err)
+		}
+		if err := ix.Save(*savePath); err != nil {
+			die(err)
+		}
+		fmt.Printf("saved snapshot:       %s (%d points, %d leaves, height %d)\n",
+			*savePath, ix.Len(), ix.NumLeaves(), ix.Height())
+	}
+
 	if *measure {
 		var measured float64
-		if *radius > 0 {
+		if *loadPath != "" {
+			measured, err = measureLoaded(*loadPath, d.Points, *radius, *k, *q, *seed)
+		} else if *radius > 0 {
 			measured, err = p.MeasureRangeAccesses(*radius, opts)
 		} else {
 			measured, err = p.MeasureKNNAccesses(opts)
@@ -109,4 +126,35 @@ func main() {
 		fmt.Printf("relative error:       %+.1f%%\n", (est.MeanAccesses-measured)/measured*100)
 	}
 	stopProf()
+}
+
+// measureLoaded answers the same seeded workload the predictors model,
+// but against an index opened from a saved snapshot file — verifying a
+// persisted index serves exactly what a freshly built one would.
+func measureLoaded(path string, points [][]float64, radius float64, k, q int, seed int64) (float64, error) {
+	ix, err := hdidx.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("loaded snapshot:      %s (%d points, %d leaves, height %d)\n",
+		path, ix.Len(), ix.NumLeaves(), ix.Height())
+	if k > ix.Len() {
+		k = ix.Len()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for i := 0; i < q; i++ {
+		center := points[rng.Intn(len(points))]
+		var st hdidx.QueryStats
+		if radius > 0 {
+			_, st, err = ix.RangeCount(center, radius)
+		} else {
+			_, st, err = ix.KNN(center, k)
+		}
+		if err != nil {
+			return 0, err
+		}
+		total += st.LeafAccesses
+	}
+	return float64(total) / float64(q), nil
 }

@@ -216,17 +216,19 @@ func (ix *Index) RangeCount(center []float64, radius float64) (int, QueryStats, 
 	return n, QueryStats{LeafAccesses: res.LeafAccesses, DirAccesses: res.DirAccesses, Radius: radius}, nil
 }
 
-// Len returns the number of indexed points.
-func (ix *Index) Len() int { return ix.tree.NumPoints }
+// Len returns the number of indexed points. (Shape accessors read the
+// flat snapshot, which every Index has — including one from Open,
+// which carries no pointer tree.)
+func (ix *Index) Len() int { return ix.flat.NumPoints }
 
 // Dim returns the dimensionality of the indexed points.
-func (ix *Index) Dim() int { return ix.tree.Dim }
+func (ix *Index) Dim() int { return ix.flat.Dim }
 
 // Height returns the height of the tree (leaves are at height 1).
-func (ix *Index) Height() int { return ix.tree.Height() }
+func (ix *Index) Height() int { return ix.flat.Height }
 
 // NumLeaves returns the number of data pages.
-func (ix *Index) NumLeaves() int { return ix.tree.NumLeaves() }
+func (ix *Index) NumLeaves() int { return ix.flat.NumLeaves }
 
 // Method selects a prediction algorithm.
 type Method string

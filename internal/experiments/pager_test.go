@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+func TestPagerExperiment(t *testing.T) {
+	opt := Options{Scale: 0.01, Queries: 40, K: 5, Seed: 1}
+	r, err := Pager(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want 2 datasets x 2 page sizes", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.BitIdentical {
+			t.Errorf("%s page=%d: paged search diverged from in-memory", row.Dataset, row.PageBytes)
+		}
+		if row.PagedAccesses != row.MeasuredAccesses {
+			t.Errorf("%s page=%d: paged leaf accesses %.2f != in-memory %.2f",
+				row.Dataset, row.PageBytes, row.PagedAccesses, row.MeasuredAccesses)
+		}
+		if row.PredictedAccesses <= 0 || row.MeasuredAccesses <= 0 {
+			t.Errorf("%s page=%d: non-positive accesses %+v", row.Dataset, row.PageBytes, row)
+		}
+		// The file stores float64 rows while the geometry models 4-byte
+		// coordinates, so real pages per query must exceed leaf
+		// accesses per query.
+		if row.PagesPerQuery <= row.MeasuredAccesses {
+			t.Errorf("%s page=%d: pages/query %.2f not above leaf accesses %.2f",
+				row.Dataset, row.PageBytes, row.PagesPerQuery, row.MeasuredAccesses)
+		}
+		if row.SeeksPerQuery <= 0 || row.FileBytes <= 0 || row.FilePages <= 0 {
+			t.Errorf("%s page=%d: missing I/O accounting %+v", row.Dataset, row.PageBytes, row)
+		}
+		if row.MeasuredIOSeconds <= 0 {
+			t.Errorf("%s page=%d: measured I/O was not priced", row.Dataset, row.PageBytes)
+		}
+		if row.FileBytes%int64(row.PageBytes) != 0 {
+			t.Errorf("%s page=%d: file size %d not page-aligned", row.Dataset, row.PageBytes, row.FileBytes)
+		}
+	}
+	if r.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

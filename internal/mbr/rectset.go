@@ -69,6 +69,30 @@ func (s *RectSet) Slice(start, count int) *RectSet {
 // Dim returns the dimensionality (0 for an empty set).
 func (s *RectSet) Dim() int { return s.dim }
 
+// Corners returns the raw corner arrays: rectangle i's low corner is
+// lo[i*Dim : (i+1)*Dim] and its high corner the same range of hi. The
+// slices are views into the set's backing storage — callers must treat
+// them as immutable, like the set itself. The persistence layer uses
+// them to serialize a set as two contiguous columns.
+func (s *RectSet) Corners() (lo, hi []float64) { return s.lo, s.hi }
+
+// RectSetFromCorners adopts (without copying) two corner columns laid
+// out as Corners returns them: n rectangles of dimensionality dim,
+// rectangle i occupying entries [i*dim, (i+1)*dim) of each column. The
+// columns must not be mutated afterwards. It panics on mismatched
+// lengths; the persistence layer validates untrusted input before
+// calling.
+func RectSetFromCorners(lo, hi []float64, n, dim int) *RectSet {
+	if n == 0 {
+		return &RectSet{}
+	}
+	if n < 0 || dim <= 0 || len(lo) != n*dim || len(hi) != n*dim {
+		panic(fmt.Sprintf("mbr: corner columns of %d/%d values for %d rectangles of dimension %d",
+			len(lo), len(hi), n, dim))
+	}
+	return &RectSet{lo: lo, hi: hi, n: n, dim: dim}
+}
+
 // At returns a copy of rectangle i as a Rect.
 func (s *RectSet) At(i int) Rect {
 	return FromCorners(s.lo[i*s.dim:(i+1)*s.dim], s.hi[i*s.dim:(i+1)*s.dim])

@@ -85,6 +85,21 @@ func New(name string, d *disk.Disk) *Trace {
 	return t
 }
 
+// NewWithSource returns a trace that snapshots counters from an
+// arbitrary source — the pager's real page-read counters, say, instead
+// of a simulated disk — and prices them with the given parameters.
+// This is what lets measured file I/O flow through the same phase
+// reports as the simulated disk's. src may be nil for CPU-only traces.
+func NewWithSource(name string, src CounterSource, price disk.Params) *Trace {
+	t := &Trace{name: name, phases: make(map[string]*Phase)}
+	if src != nil {
+		t.src = src
+		t.price = price
+		t.hasPrice = true
+	}
+	return t
+}
+
 // Name returns the trace name. Safe on nil (returns "").
 func (t *Trace) Name() string {
 	if t == nil {

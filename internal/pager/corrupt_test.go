@@ -1,0 +1,180 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hdidx/internal/query"
+	"hdidx/internal/rtree"
+)
+
+// This file is the hostile-input suite of the snapshot format: every
+// way a file can lie — truncation, bit flips, version skew, foreign
+// content — must surface as an error from Open, never a panic and
+// never a silently misread tree. The fuzz target extends the same
+// contract to arbitrary byte strings.
+
+// goodSnapshotBytes builds a small tree and serializes it at the
+// minimum page size, returning the raw file bytes.
+func goodSnapshotBytes(tb testing.TB, bits int) []byte {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	data := uniform(400, 6, rng)
+	tr := rtree.Build(data, rtree.BuildParams{LeafCap: 16, DirCap: 8})
+	ft := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: bits})
+	var buf bytes.Buffer
+	if _, err := Write(&buf, ft, MinPageBytes); err != nil {
+		tb.Fatalf("write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// openBytes lands b in a file and tries to open it, closing the
+// snapshot if verification wrongly passes.
+func openBytes(tb testing.TB, b []byte) error {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "snap.hdsn")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		tb.Fatalf("stage file: %v", err)
+	}
+	s, err := Open(path)
+	if err == nil {
+		s.Close()
+	}
+	return err
+}
+
+// TestOpenTruncated cuts a valid file at every interesting boundary —
+// empty, mid-header, header only, mid-section, one byte short — and
+// requires an error every time.
+func TestOpenTruncated(t *testing.T) {
+	good := goodSnapshotBytes(t, 4)
+	cuts := []int{0, 1, headerBytes - 1, headerBytes, MinPageBytes - 1,
+		MinPageBytes, len(good) / 2, len(good) - MinPageBytes, len(good) - 1}
+	for _, cut := range cuts {
+		if cut < 0 || cut >= len(good) {
+			continue
+		}
+		if err := openBytes(t, good[:cut]); err == nil {
+			t.Errorf("open accepted a file truncated to %d of %d bytes", cut, len(good))
+		}
+	}
+}
+
+// TestOpenHeaderBitFlips corrupts every byte of the header in turn;
+// the header checksum (or, for the magic, the signature check) must
+// reject each one.
+func TestOpenHeaderBitFlips(t *testing.T) {
+	good := goodSnapshotBytes(t, 0)
+	for off := 0; off < headerBytes; off++ {
+		b := append([]byte(nil), good...)
+		b[off] ^= 0xFF
+		if err := openBytes(t, b); err == nil {
+			t.Fatalf("open accepted a header bit flip at byte %d", off)
+		}
+	}
+}
+
+// TestOpenSectionBitFlips corrupts bytes inside every section's data
+// range (first, middle, last); the per-section CRC must reject each.
+// Bytes in the zero padding between sections are deliberately not
+// flipped — padding carries no data and is not checksummed.
+func TestOpenSectionBitFlips(t *testing.T) {
+	good := goodSnapshotBytes(t, 4)
+	h, err := decodeHeader(good[:headerBytes])
+	if err != nil {
+		t.Fatalf("decode good header: %v", err)
+	}
+	for _, s := range h.sections {
+		for _, off := range []int64{s.offset, s.offset + s.length/2, s.offset + s.length - 1} {
+			b := append([]byte(nil), good...)
+			b[off] ^= 0x01
+			if err := openBytes(t, b); err == nil {
+				t.Errorf("open accepted a bit flip at byte %d of section kind %d", off, s.kind)
+			}
+		}
+	}
+}
+
+// TestOpenVersionSkew re-stamps a valid file as a future format
+// version, with a correct header checksum, and requires rejection —
+// this reader must not guess at layouts it does not know.
+func TestOpenVersionSkew(t *testing.T) {
+	good := goodSnapshotBytes(t, 0)
+	b := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(b[4:], Version+1)
+	binary.LittleEndian.PutUint32(b[headerBytes-4:],
+		crc32.Checksum(b[:headerBytes-4], castagnoli))
+	if err := openBytes(t, b); err == nil {
+		t.Fatal("open accepted a file stamped with a future version")
+	}
+}
+
+// TestOpenForeignFiles feeds Open things that are not snapshot files
+// at all: empty, text, random bytes, and a wrong-magic file that is
+// otherwise header-shaped.
+func TestOpenForeignFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	random := make([]byte, 4*MinPageBytes)
+	rng.Read(random)
+	wrongMagic := goodSnapshotBytes(t, 0)
+	wrongMagic = append([]byte(nil), wrongMagic...)
+	copy(wrongMagic[0:4], "HDX1")
+	binary.LittleEndian.PutUint32(wrongMagic[headerBytes-4:],
+		crc32.Checksum(wrongMagic[:headerBytes-4], castagnoli))
+	cases := map[string][]byte{
+		"empty":       {},
+		"text":        []byte("not a snapshot\n"),
+		"random":      random,
+		"wrong magic": wrongMagic,
+	}
+	for name, b := range cases {
+		if err := openBytes(t, b); err == nil {
+			t.Errorf("open accepted %s content", name)
+		}
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.hdsn")); err == nil {
+		t.Error("open accepted a missing file")
+	}
+}
+
+// FuzzOpen asserts the hostile-input contract on arbitrary bytes:
+// Open either errors or yields a fully verified snapshot whose tree
+// answers a query without panicking.
+func FuzzOpen(f *testing.F) {
+	good := goodSnapshotBytes(f, 4)
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[:headerBytes])
+	flipped := append([]byte(nil), good...)
+	flipped[headerBytes/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("HDSN garbage that is far too short"))
+	// One file path per fuzz process (workers are separate processes):
+	// per-exec temp dirs would dominate the runtime.
+	path := filepath.Join(f.TempDir(), "fuzz.hdsn")
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(path)
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		ft := s.Tree()
+		if ft.NumPoints > 0 {
+			q := make([]float64, ft.Dim)
+			res := query.KNNSearchPaged(ft, s, q, 1)
+			if len(res.Neighbors) != 1 {
+				t.Fatalf("verified snapshot answered %d neighbors for k=1", len(res.Neighbors))
+			}
+		}
+	})
+}

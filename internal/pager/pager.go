@@ -1,0 +1,337 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"hdidx/internal/disk"
+	"hdidx/internal/mbr"
+	"hdidx/internal/rtree"
+	"hdidx/internal/vec"
+)
+
+// Snapshot is an open snapshot file. Open verifies the whole file
+// (header, every section checksum, every structural invariant) and
+// keeps a resident FlatTree for Tree(); alongside it, LeafRows is a
+// pager read path that fetches leaf point rows with real page-granular
+// ReadAt calls against the points section, counting seeks and
+// transfers with the same adjacency rule as the simulated disk
+// (internal/disk). That is what lets experiments compare the paper's
+// *predicted* leaf accesses against page reads *measured* on a real
+// filesystem: run the search once over the resident tree for
+// bit-identical results, and once over the pager to count actual I/O.
+//
+// A Snapshot is safe for concurrent use.
+type Snapshot struct {
+	f    *os.File
+	path string
+	h    *header
+	tree *rtree.FlatTree
+
+	// pointsOff/pointsLen locate the points section in the file.
+	pointsOff int64
+	pointsLen int64
+
+	mu       sync.Mutex
+	counters disk.Counters
+	lastPage int64 // last page touched by LeafRows; -1 = none
+
+	bufPool sync.Pool // *[]byte page-run scratch for LeafRows
+}
+
+// Open opens and fully verifies a snapshot file. Any corruption —
+// truncation, bit flips in the header or any section, version skew, or
+// a foreign file — is reported as an error; Open never panics on bad
+// bytes and never returns a tree that could panic a later search.
+func Open(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := open(f, path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func open(f *os.File, path string) (*Snapshot, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	hdrBuf := make([]byte, headerBytes)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), hdrBuf); err != nil {
+		return nil, fmt.Errorf("file too short for a snapshot header (%d bytes)", size)
+	}
+	h, err := decodeHeader(hdrBuf)
+	if err != nil {
+		return nil, err
+	}
+	pb := int64(h.pageBytes)
+	if size%pb != 0 {
+		return nil, fmt.Errorf("truncated file: %d bytes is not a multiple of the %d-byte page", size, pb)
+	}
+
+	// The section table must list exactly the expected kinds in order,
+	// with the expected lengths, laid out back to back on page
+	// boundaries. Checking lengths against the header counts up front
+	// means a truncated or resized section is caught before any decode.
+	wantKinds := []uint32{secChildStart, secChildCount, secPtStart, secPtCount,
+		secRectLo, secRectHi, secPoints}
+	if h.prefilterBits > 0 {
+		wantKinds = append(wantKinds, secCodes, secMarks)
+	}
+	if len(h.sections) != len(wantKinds) {
+		return nil, fmt.Errorf("%d sections, want %d", len(h.sections), len(wantKinds))
+	}
+	wantLen := func(kind uint32) int64 {
+		switch kind {
+		case secChildStart, secChildCount, secPtStart, secPtCount:
+			return int64(h.numNodes) * 4
+		case secRectLo, secRectHi:
+			return int64(h.numNodes) * int64(h.dim) * 8
+		case secPoints:
+			return int64(h.numPoints) * int64(h.dim) * 8
+		case secCodes:
+			return int64(h.dim) * int64(h.numPoints)
+		case secMarks:
+			return int64(h.dim) * int64((1<<h.prefilterBits)+1) * 8
+		}
+		return -1
+	}
+	offset := pb
+	for i, sec := range h.sections {
+		if sec.kind != wantKinds[i] {
+			return nil, fmt.Errorf("section %d has kind %d, want %d", i, sec.kind, wantKinds[i])
+		}
+		if want := wantLen(sec.kind); sec.length != want {
+			return nil, fmt.Errorf("section %d (kind %d) is %d bytes, header counts imply %d",
+				i, sec.kind, sec.length, want)
+		}
+		if sec.offset != offset {
+			return nil, fmt.Errorf("section %d (kind %d) at offset %d, want %d", i, sec.kind, sec.offset, offset)
+		}
+		offset += pagePad(sec.length, h.pageBytes)
+		if offset > size {
+			return nil, fmt.Errorf("truncated file: section %d (kind %d) ends at %d of %d bytes",
+				i, sec.kind, offset, size)
+		}
+	}
+
+	// Read and checksum every section, then hand the arrays to
+	// AssembleFlat for the structural invariants.
+	readSection := func(sec sectionEntry) ([]byte, error) {
+		b := make([]byte, sec.length)
+		if _, err := f.ReadAt(b, sec.offset); err != nil {
+			return nil, fmt.Errorf("section kind %d: %w", sec.kind, err)
+		}
+		if got := crc32.Checksum(b, castagnoli); got != sec.crc {
+			return nil, fmt.Errorf("section kind %d checksum mismatch (got %08x, want %08x)",
+				sec.kind, got, sec.crc)
+		}
+		return b, nil
+	}
+	var (
+		i32s                 [4][]int32
+		rectLo, rectHi       []float64
+		points, marks        []float64
+		codes                []byte
+		pointsOff, pointsLen int64
+	)
+	for i, sec := range h.sections {
+		b, err := readSection(sec)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case i < 4:
+			i32s[i] = decodeInt32s(b)
+		case sec.kind == secRectLo:
+			rectLo = decodeFloat64s(b)
+		case sec.kind == secRectHi:
+			rectHi = decodeFloat64s(b)
+		case sec.kind == secPoints:
+			points = decodeFloat64s(b)
+			pointsOff, pointsLen = sec.offset, sec.length
+		case sec.kind == secCodes:
+			codes = b
+		case sec.kind == secMarks:
+			marks = decodeFloat64s(b)
+		}
+	}
+	rects, err := assembleRects(rectLo, rectHi, h.numNodes, h.dim)
+	if err != nil {
+		return nil, err
+	}
+	mat := vec.Matrix{Data: points, N: h.numPoints, Dim: h.dim}
+	tree, err := rtree.AssembleFlat(h.dim, h.height, h.numPoints, h.numLeaves,
+		i32s[0], i32s[1], i32s[2], i32s[3], rects, mat,
+		h.prefilterBits, codes, marks)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		f:         f,
+		path:      path,
+		h:         h,
+		tree:      tree,
+		pointsOff: pointsOff,
+		pointsLen: pointsLen,
+		lastPage:  -1,
+	}, nil
+}
+
+// assembleRects rebuilds the RectSet from its corner columns,
+// validating lengths (the mbr constructor panics on mismatch, and
+// these bytes are untrusted).
+func assembleRects(lo, hi []float64, n, dim int) (*mbr.RectSet, error) {
+	if n == 0 {
+		if len(lo) != 0 || len(hi) != 0 {
+			return nil, fmt.Errorf("rectangle corners present for an empty tree")
+		}
+		return mbr.RectSetFromCorners(nil, nil, 0, 0), nil
+	}
+	if len(lo) != n*dim || len(hi) != n*dim {
+		return nil, fmt.Errorf("rectangle corner columns of %d/%d values for %d nodes of dimension %d",
+			len(lo), len(hi), n, dim)
+	}
+	return mbr.RectSetFromCorners(lo, hi, n, dim), nil
+}
+
+func decodeInt32s(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+func decodeFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// Tree returns the verified resident FlatTree. It remains valid after
+// Close; searches over it never touch the file.
+func (s *Snapshot) Tree() *rtree.FlatTree { return s.tree }
+
+// Path returns the file path the snapshot was opened from.
+func (s *Snapshot) Path() string { return s.path }
+
+// PageBytes returns the page size the file was written with.
+func (s *Snapshot) PageBytes() int { return s.h.pageBytes }
+
+// Pages returns the total number of pages in the file occupied by the
+// points section — the quantity the paper's leaf-access predictions
+// are ultimately priced against.
+func (s *Snapshot) Pages() int64 { return pagePad(s.pointsLen, s.h.pageBytes) / int64(s.h.pageBytes) }
+
+// LeafRows reads point rows [start, end) from the points section with
+// real page-granular I/O, decoding them into buf (grown as needed) in
+// the same row-major layout as the resident matrix. The rows of one
+// call come from one contiguous ReadAt spanning whole pages; the
+// counters charge one transfer per page and one seek when the first
+// page is not adjacent to the last page previously read, mirroring the
+// simulated disk's accounting. The returned slice aliases buf and is
+// overwritten by the next call with the same buf.
+//
+// The file was fully verified at Open, so a read failure here is an
+// environmental I/O error (device gone, file unlinked and truncated
+// underfoot); LeafRows panics on it rather than corrupting results.
+func (s *Snapshot) LeafRows(start, end int, buf []float64) []float64 {
+	dim := s.h.dim
+	n := end - start
+	if n < 0 || start < 0 || end > s.h.numPoints {
+		panic(fmt.Sprintf("pager: rows [%d, %d) of %d points", start, end, s.h.numPoints))
+	}
+	if n == 0 {
+		return buf[:0]
+	}
+	pb := int64(s.h.pageBytes)
+	byteOff := s.pointsOff + int64(start)*int64(dim)*8
+	byteLen := int64(n) * int64(dim) * 8
+	firstPage := byteOff / pb
+	lastPage := (byteOff + byteLen - 1) / pb
+
+	s.mu.Lock()
+	if firstPage != s.lastPage && firstPage != s.lastPage+1 {
+		s.counters.Seeks++
+	}
+	s.counters.Transfers += lastPage - firstPage + 1
+	s.counters.Misses += lastPage - firstPage + 1
+	s.lastPage = lastPage
+	s.mu.Unlock()
+
+	// Fetch the whole page run, then decode the row span out of it.
+	runLen := int((lastPage - firstPage + 1) * pb)
+	var raw []byte
+	if p, _ := s.bufPool.Get().(*[]byte); p != nil && cap(*p) >= runLen {
+		raw = (*p)[:runLen]
+	} else {
+		raw = make([]byte, runLen)
+	}
+	if _, err := s.f.ReadAt(raw, firstPage*pb); err != nil {
+		panic(fmt.Sprintf("pager: read pages [%d, %d] of %s: %v", firstPage, lastPage, s.path, err))
+	}
+	skip := byteOff - firstPage*pb
+	want := n * dim
+	if cap(buf) < want {
+		buf = make([]float64, want)
+	}
+	out := buf[:want]
+	src := raw[skip : skip+byteLen]
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	s.bufPool.Put(&raw)
+	return out
+}
+
+// Counters returns the accumulated pager I/O counters. Snapshot
+// implements obs.CounterSource, so a pager can sit behind an obs.Trace
+// and have its page reads show up in phase reports exactly like the
+// simulated disk's.
+func (s *Snapshot) Counters() disk.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// ResetCounters zeroes the counters and forgets the head position, so
+// the next read is charged a seek.
+func (s *Snapshot) ResetCounters() {
+	s.mu.Lock()
+	s.counters = disk.Counters{}
+	s.lastPage = -1
+	s.mu.Unlock()
+}
+
+// Close releases the file handle. The resident tree stays usable;
+// LeafRows panics after Close.
+func (s *Snapshot) Close() error { return s.f.Close() }
+
+// Load opens, verifies, and closes path, returning just the resident
+// tree — the convenience entry point for callers (server recovery, the
+// facade) that want the tree without the pager read path.
+func Load(path string) (*rtree.FlatTree, error) {
+	s, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t := s.Tree()
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -114,6 +114,7 @@ type flatScratch struct {
 	pre   prefilterScratch
 	dists []float64
 	stack []int32
+	rows  []float64 // paged-search leaf row buffer (paged.go)
 }
 
 // childDists returns a scratch buffer of at least n distances.
@@ -213,7 +214,11 @@ func knnFlat(ft *rtree.FlatTree, q []float64, k int, wantNeighbors bool, sc *fla
 // RangeSearchFlat counts the points of the flat tree within the sphere
 // and the pages accessed doing so — bit-identical to the pointer
 // oracle RangeSearch (the accessed set is every node whose MINDIST is
-// at most the radius, independent of traversal order).
+// at most the radius, independent of traversal order). On a snapshot
+// built with prefilter codes, leaf rows are first decided from their
+// quantized distance bounds and only the rows the bounds cannot decide
+// pay an exact evaluation — the count and access counts are identical
+// either way (prefilterRangeLeaf).
 func RangeSearchFlat(ft *rtree.FlatTree, s Sphere) (points int, res Result) {
 	res.Radius = s.Radius
 	if ft.NumNodes() == 0 {
@@ -225,6 +230,8 @@ func RangeSearchFlat(ft *rtree.FlatTree, s Sphere) (points int, res Result) {
 	r2 := s.Radius * s.Radius
 	sc := flatPool.Get().(*flatScratch)
 	defer flatPool.Put(sc)
+	usePre := ft.PrefilterBits != 0
+	sc.pre.built = false
 	data, dim := ft.Points.Data, ft.Dim
 	stack := sc.stack[:0]
 	if ft.Rects.MinSqDist(0, s.Center) <= r2 {
@@ -237,6 +244,10 @@ func RangeSearchFlat(ft *rtree.FlatTree, s Sphere) (points int, res Result) {
 		if cc == 0 {
 			res.LeafAccesses++
 			start, end := int(ft.PtStart[node]), int(ft.PtStart[node]+ft.PtCount[node])
+			if usePre {
+				points += prefilterRangeLeaf(ft, s.Center, r2, start, end, &sc.pre, &res)
+				continue
+			}
 			for r := start; r < end; r++ {
 				if _, ok := sqDistBounded(data[r*dim:r*dim+dim], s.Center, r2); ok {
 					points++

@@ -116,3 +116,40 @@ func prefilterLeaf(ft *rtree.FlatTree, q []float64, start, end int,
 		}
 	}
 }
+
+// prefilterRangeLeaf visits leaf rows [start, end) for a range count
+// with radius² r2, deciding rows from their quantized bounds wherever
+// the bounds are conclusive: lo2 > r2 proves the point outside the
+// closed ball (exact >= lo2), hi2 <= r2 proves it inside (exact <=
+// hi2), and only the straddling rows pay an exact evaluation. The
+// returned count is identical to the exact scan's by bound soundness
+// — both conclusive cases decide exactly as the exact comparison
+// would. Skipped rows of either kind are accounted as
+// PrefilterSkipped.
+func prefilterRangeLeaf(ft *rtree.FlatTree, center []float64, r2 float64, start, end int,
+	ps *prefilterScratch, res *Result) (points int) {
+	n := end - start
+	ps.ensureLUT(ft, center)
+	lo2, hi2 := ps.bounds(n)
+	cells := 1 << ft.PrefilterBits
+	prefilterBounds(ft.Codes, ft.NumPoints, start, n, ft.Dim, cells, ps.lutLo, ps.lutHi, lo2, hi2)
+
+	res.PrefilterVisited += n
+	data, dim := ft.Points.Data, ft.Dim
+	for i := 0; i < n; i++ {
+		if lo2[i] > r2 {
+			res.PrefilterSkipped++
+			continue
+		}
+		if hi2[i] <= r2 {
+			res.PrefilterSkipped++
+			points++
+			continue
+		}
+		r := start + i
+		if _, ok := sqDistBounded(data[r*dim:r*dim+dim], center, r2); ok {
+			points++
+		}
+	}
+	return points
+}

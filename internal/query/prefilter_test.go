@@ -59,6 +59,65 @@ func TestKNNPrefilterBitIdentical(t *testing.T) {
 	}
 }
 
+// TestRangePrefilterBitIdentical is the range-path counterpart: over
+// random geometries, prefilter widths, and radii (including zero and
+// all-enclosing), the bound-deciding range scan must return the same
+// count and access counts as the exact scan and as brute force, while
+// actually deciding some rows from bounds alone.
+func TestRangePrefilterBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	decided := 0
+	for trial := 0; trial < 120; trial++ {
+		data, tr := buildRandomTree(rng)
+		bits := 1 + rng.Intn(8)
+		plain := tr.Flatten()
+		pre := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: bits})
+		for qi := 0; qi < 4; qi++ {
+			center := data[rng.Intn(len(data))]
+			radius := rng.Float64() * math.Sqrt(float64(tr.Dim))
+			switch qi {
+			case 1:
+				radius = 0
+			case 2:
+				radius = 2 * math.Sqrt(float64(tr.Dim)) // encloses the unit cube
+			}
+			s := Sphere{Center: center, Radius: radius}
+			wantN, want := RangeSearchFlat(plain, s)
+			gotN, got := RangeSearchFlat(pre, s)
+			if gotN != wantN {
+				t.Fatalf("trial %d bits %d: count %d != unfiltered %d (r=%v)", trial, bits, gotN, wantN, radius)
+			}
+			if got.LeafAccesses != want.LeafAccesses || got.DirAccesses != want.DirAccesses {
+				t.Fatalf("trial %d bits %d: accesses %d/%d != unfiltered %d/%d", trial, bits,
+					got.LeafAccesses, got.DirAccesses, want.LeafAccesses, want.DirAccesses)
+			}
+			brute := 0
+			r2 := radius * radius
+			for _, p := range data {
+				var acc float64
+				for j := range p {
+					d := p[j] - center[j]
+					acc += d * d
+				}
+				if acc <= r2 {
+					brute++
+				}
+			}
+			if gotN != brute {
+				t.Fatalf("trial %d bits %d: count %d != brute force %d", trial, bits, gotN, brute)
+			}
+			decided += got.PrefilterSkipped
+			if got.PrefilterSkipped > got.PrefilterVisited {
+				t.Fatalf("trial %d bits %d: skipped %d > visited %d", trial, bits,
+					got.PrefilterSkipped, got.PrefilterVisited)
+			}
+		}
+	}
+	if decided == 0 {
+		t.Fatal("the prefilter never decided a single row from bounds across all trials")
+	}
+}
+
 // TestKNNPrefilterBatchBitIdentical runs the same bit-identity
 // property through KNNSearchFlatBatch, including batches above the
 // 64-query group width.

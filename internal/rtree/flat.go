@@ -174,6 +174,143 @@ func (f *FlatTree) buildPrefilter(bits int) {
 	}
 }
 
+// AssembleFlat reconstructs a FlatTree from its raw arrays — the
+// inverse of what the persistence layer serializes. It validates every
+// structural invariant the traversal kernels rely on, so a tree
+// assembled from untrusted bytes (a corrupted or foreign snapshot
+// file) either comes back searchable or fails with an error — it can
+// never panic a later search:
+//
+//   - parallel arrays agree in length and the counts are consistent;
+//   - every directory node's child range lies inside the node array
+//     and the ranges tile [1, n) in BFS order (so sibling ranges are
+//     contiguous and every node except the root has one parent);
+//   - leaves are exactly the BFS tail [n-numLeaves, n) and their point
+//     row ranges tile [0, numPoints) in leaf order;
+//   - the prefilter arrays, when present, match the advertised width.
+//
+// The arrays are adopted, not copied; callers hand over ownership.
+func AssembleFlat(dim, height, numPoints, numLeaves int,
+	childStart, childCount, ptStart, ptCount []int32,
+	rects *mbr.RectSet, points vec.Matrix,
+	prefilterBits int, codes []byte, marks []float64) (*FlatTree, error) {
+
+	n := len(childStart)
+	if n == 0 {
+		if dim != 0 || height != 0 || numPoints != 0 || numLeaves != 0 {
+			return nil, fmt.Errorf("rtree: empty node array with dim=%d height=%d points=%d leaves=%d",
+				dim, height, numPoints, numLeaves)
+		}
+		return &FlatTree{}, nil
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("rtree: assemble dimension %d", dim)
+	}
+	if len(childCount) != n || len(ptStart) != n || len(ptCount) != n {
+		return nil, fmt.Errorf("rtree: parallel node arrays disagree: %d/%d/%d/%d",
+			n, len(childCount), len(ptStart), len(ptCount))
+	}
+	if numLeaves < 1 || numLeaves > n {
+		return nil, fmt.Errorf("rtree: %d leaves of %d nodes", numLeaves, n)
+	}
+	if rects == nil || rects.Len() != n || rects.Dim() != dim {
+		got, gotDim := 0, 0
+		if rects != nil {
+			got, gotDim = rects.Len(), rects.Dim()
+		}
+		return nil, fmt.Errorf("rtree: %d rectangles of dimension %d for %d nodes of dimension %d",
+			got, gotDim, n, dim)
+	}
+	if points.N != numPoints || (numPoints > 0 && points.Dim != dim) ||
+		len(points.Data) != numPoints*points.Dim {
+		return nil, fmt.Errorf("rtree: point matrix %dx%d (%d values) for %d points of dimension %d",
+			points.N, points.Dim, len(points.Data), numPoints, dim)
+	}
+	// BFS child ranges must tile [1, n): node 0 is the root, and every
+	// later node is the child of exactly one earlier node, enqueued in
+	// order. Walking the nodes in order and checking each directory
+	// range continues where the previous one ended verifies all of
+	// in-bounds, no-overlap, and full coverage in one pass.
+	next := int32(1)
+	leafSeen := 0
+	var ptOff int32
+	for i := 0; i < n; i++ {
+		cc := childCount[i]
+		if cc == 0 {
+			if i < n-numLeaves {
+				return nil, fmt.Errorf("rtree: leaf node %d before the leaf tail [%d, %d)", i, n-numLeaves, n)
+			}
+			leafSeen++
+			if ptStart[i] != ptOff || ptCount[i] < 0 {
+				return nil, fmt.Errorf("rtree: leaf %d rows [%d, %d+%d) break the packed point order at %d",
+					i, ptStart[i], ptStart[i], ptCount[i], ptOff)
+			}
+			ptOff += ptCount[i]
+			if ptOff > int32(numPoints) {
+				return nil, fmt.Errorf("rtree: leaf rows overrun %d points", numPoints)
+			}
+			continue
+		}
+		if i >= n-numLeaves {
+			return nil, fmt.Errorf("rtree: directory node %d inside the leaf tail [%d, %d)", i, n-numLeaves, n)
+		}
+		if cc < 0 || childStart[i] != next || int64(next)+int64(cc) > int64(n) {
+			return nil, fmt.Errorf("rtree: node %d children [%d, %d+%d) break the BFS order at %d",
+				i, childStart[i], childStart[i], cc, next)
+		}
+		next += cc
+		if ptStart[i] != 0 || ptCount[i] != 0 {
+			return nil, fmt.Errorf("rtree: directory node %d carries point rows", i)
+		}
+	}
+	if int(next) != n {
+		return nil, fmt.Errorf("rtree: child ranges cover %d of %d nodes", next, n)
+	}
+	if leafSeen != numLeaves {
+		return nil, fmt.Errorf("rtree: %d leaf nodes, header says %d", leafSeen, numLeaves)
+	}
+	if int(ptOff) != numPoints {
+		return nil, fmt.Errorf("rtree: leaf rows cover %d of %d points", ptOff, numPoints)
+	}
+	if height < 1 {
+		return nil, fmt.Errorf("rtree: height %d for a %d-node tree", height, n)
+	}
+	if prefilterBits < 0 || prefilterBits > 8 {
+		return nil, fmt.Errorf("rtree: prefilter bits %d outside [0, 8]", prefilterBits)
+	}
+	if prefilterBits > 0 {
+		cells := 1 << prefilterBits
+		if len(codes) != dim*numPoints || len(marks) != dim*(cells+1) {
+			return nil, fmt.Errorf("rtree: prefilter arrays %d codes / %d marks for %d points, %d bits",
+				len(codes), len(marks), numPoints, prefilterBits)
+		}
+		for _, c := range codes {
+			if int(c) >= cells {
+				return nil, fmt.Errorf("rtree: prefilter code %d outside %d cells", c, cells)
+			}
+		}
+	} else if len(codes) != 0 || len(marks) != 0 {
+		return nil, fmt.Errorf("rtree: prefilter arrays present with zero bits")
+	}
+	f := &FlatTree{
+		Dim:           dim,
+		Height:        height,
+		NumPoints:     numPoints,
+		NumLeaves:     numLeaves,
+		ChildStart:    childStart,
+		ChildCount:    childCount,
+		PtStart:       ptStart,
+		PtCount:       ptCount,
+		Rects:         rects,
+		Points:        points,
+		PrefilterBits: prefilterBits,
+		Codes:         codes,
+		Marks:         marks,
+	}
+	f.leafRects = f.Rects.Slice(n-numLeaves, numLeaves)
+	return f, nil
+}
+
 // MarksFor returns dimension d's quantizer boundaries (nil without a
 // prefilter).
 func (f *FlatTree) MarksFor(d int) []float64 {

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hdidx/internal/pager"
+)
+
+// TestFlushClosedServer is the regression test for the lifecycle bug
+// where Flush on a closed server still published a new generation
+// (Insert correctly refused while Flush happily resurrected the dead
+// server). Flush must return ErrClosed and the generation must not
+// advance; Stats and Generation stay readable.
+func TestFlushClosedServer(t *testing.T) {
+	s, err := New(uniform(100, 4, 1), Config{FlattenEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave unpublished pending points so a buggy Flush would publish.
+	if err := s.Insert(make([]float64, 4)); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := s.Generation()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush on closed server: %v, want ErrClosed", err)
+	}
+	if g := s.Generation(); g != genBefore {
+		t.Fatalf("Flush on closed server advanced generation %d -> %d", genBefore, g)
+	}
+	if st := s.Stats(); st.Generation != genBefore {
+		t.Fatalf("Stats after close: generation %d, want %d", st.Generation, genBefore)
+	}
+	if err := s.Insert(make([]float64, 4)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert on closed server: %v, want ErrClosed", err)
+	}
+}
+
+// TestKNNCloseRace hammers concurrent KNN against Close: every call
+// must complete (answer or error) — the old drain could orphan a call
+// that enqueued after the drain emptied the queue, which deadlocks the
+// caller's reply wait if it misses the done channel, and at minimum
+// strands the call. Run under -race in CI.
+func TestKNNCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s, err := New(uniform(200, 3, int64(round)), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := uniform(1, 3, 99)[0]
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					_, err := s.KNN(q, 3)
+					if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrOverloaded) {
+						t.Errorf("KNN: unexpected error %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+			s.Close()
+		}()
+		close(start)
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("KNN/Close race: a call never completed (orphaned in the queue)")
+		}
+		// The drain must have been exhaustive: nothing may remain queued.
+		select {
+		case c := <-s.queue:
+			_ = c
+			t.Fatal("a call was left in the queue after Close returned")
+		default:
+		}
+	}
+}
+
+// TestDurablePublicationAndRecovery exercises the snapshot lifecycle
+// end to end: publish durably, restart from the file, and verify the
+// recovered server answers identically.
+func TestDurablePublicationAndRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	data := uniform(500, 6, 7)
+	s, err := New(data, Config{SnapshotPath: path, FlattenEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := uniform(40, 6, 8)
+	for _, p := range extra {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q := uniform(1, 6, 9)[0]
+	want, err := s.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := s.Len()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with no initial points and no geometry: everything comes
+	// from the file.
+	s2, err := New(nil, Config{SnapshotPath: path})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != wantLen {
+		t.Fatalf("recovered %d points, want %d", got, wantLen)
+	}
+	got, err := s2.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Radius != want.Radius {
+		t.Fatalf("recovered server answers radius %v, original %v", got.Radius, want.Radius)
+	}
+}
+
+// TestRecoveryRejectsCorruptSnapshot: an existing-but-corrupt snapshot
+// file must fail New loudly, never be silently ignored.
+func TestRecoveryRejectsCorruptSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	s, err := New(uniform(100, 4, 3), Config{SnapshotPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, Config{SnapshotPath: path}); err == nil {
+		t.Fatal("New over a corrupt snapshot succeeded")
+	}
+}
+
+// TestRecoveryIgnoresTornTmp simulates a crash between tmp write and
+// rename: the stale tmp file must not confuse recovery (the previous
+// published snapshot wins) and is swept by the next publication.
+func TestRecoveryIgnoresTornTmp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	s, err := New(uniform(300, 5, 11), Config{SnapshotPath: path, FlattenEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A torn half-written tmp from a crashed writer.
+	if err := os.WriteFile(filepath.Join(dir, "snap.tmp-crashed"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(nil, Config{SnapshotPath: path, FlattenEvery: 1 << 30})
+	if err != nil {
+		t.Fatalf("recovery with stale tmp present: %v", err)
+	}
+	if s2.Len() != 300 {
+		t.Fatalf("recovered %d points, want 300", s2.Len())
+	}
+	if err := s2.Insert(make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if stale, _ := filepath.Glob(filepath.Join(dir, "snap.tmp-*")); len(stale) != 0 {
+		t.Fatalf("stale tmp files survive publication: %v", stale)
+	}
+	// The republished file is a valid snapshot with the insert.
+	ft, err := pager.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.NumPoints != 301 {
+		t.Fatalf("republished snapshot has %d points, want 301", ft.NumPoints)
+	}
+}
+
+// TestDurableEveryGeneration checks FlattenEvery-triggered
+// publications also hit the disk, not just explicit Flush.
+func TestDurableEveryGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	s, err := New(uniform(10, 3, 5), Config{SnapshotPath: path, FlattenEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, p := range uniform(10, 3, 6) {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ft, err := pager.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.NumPoints != 20 {
+		t.Fatalf("durable snapshot has %d points, want 20 after the automatic publication", ft.NumPoints)
+	}
+}

@@ -33,11 +33,13 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hdidx/internal/obs"
+	"hdidx/internal/pager"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
 )
@@ -91,6 +93,16 @@ type Config struct {
 	// bit-identical to the unfiltered search. Valid widths are 0 (off,
 	// the default) through 8; New rejects other values.
 	PrefilterBits int
+	// SnapshotPath, when non-empty, makes publication durable: every
+	// published generation is also written to this file atomically
+	// (tmp + fsync + rename via pager.WriteFileAtomic), so a crash at
+	// any moment leaves the previous or the new snapshot on disk, never
+	// a torn file. New recovers the persisted points from an existing
+	// file at this path before ingesting the initial points, so a
+	// restarted server resumes from its last published generation
+	// (generation numbers themselves are per-process). Empty (the
+	// default) serves purely in memory.
+	SnapshotPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -157,7 +169,16 @@ type Server struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
+	// sendMu fences KNN's check-closed-then-enqueue against Close's
+	// final queue drain: senders hold it shared around the re-check and
+	// the send, Close takes it exclusively after stopping the batcher,
+	// so once Close's barrier passes no call can slip into the queue
+	// behind the drain.
+	sendMu sync.RWMutex
+
 	closed atomic.Bool
+
+	snapPageBytes int
 
 	gens      atomic.Int64
 	retires   atomic.Int64
@@ -196,16 +217,45 @@ type Result struct {
 }
 
 // New starts a server over the initial points (which may be empty when
-// Config.Geometry says how wide future points are). The initial points
-// are ingested through the same dynamic tree as later inserts and
-// published as generation 1.
+// Config.Geometry says how wide future points are). When
+// Config.SnapshotPath names an existing snapshot file, its points are
+// recovered first — the restarted server resumes from the last durably
+// published generation — then the initial points are ingested on top,
+// and the union is published as generation 1. A snapshot file that
+// exists but fails verification is an error, never silently ignored.
 func New(initial [][]float64, cfg Config) (*Server, error) {
+	var recovered *rtree.FlatTree
+	if cfg.SnapshotPath != "" {
+		switch _, err := os.Stat(cfg.SnapshotPath); {
+		case err == nil:
+			ft, lerr := pager.Load(cfg.SnapshotPath)
+			if lerr != nil {
+				return nil, fmt.Errorf("serve: recover snapshot: %w", lerr)
+			}
+			recovered = ft
+		case !os.IsNotExist(err):
+			return nil, fmt.Errorf("serve: recover snapshot: %w", err)
+		}
+	}
 	g := cfg.Geometry
 	if g.Dim < 1 {
-		if len(initial) == 0 || len(initial[0]) == 0 {
+		dim := 0
+		switch {
+		case recovered != nil && recovered.Dim > 0:
+			dim = recovered.Dim
+		case len(initial) > 0 && len(initial[0]) > 0:
+			dim = len(initial[0])
+		default:
 			return nil, fmt.Errorf("serve: no geometry and no initial points to derive one from")
 		}
-		g = rtree.NewGeometry(len(initial[0]))
+		derived := rtree.NewGeometry(dim)
+		if g.PageBytes > 0 { // keep configured page settings, derive only the width
+			derived.PageBytes = g.PageBytes
+		}
+		if g.Utilization > 0 {
+			derived.Utilization = g.Utilization
+		}
+		g = derived
 	}
 	if cfg.PrefilterBits < 0 || cfg.PrefilterBits > 8 {
 		return nil, fmt.Errorf("serve: prefilter bits %d outside [0, 8]", cfg.PrefilterBits)
@@ -214,14 +264,27 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: negative queue timeout %v", cfg.QueueTimeout)
 	}
 	cfg = cfg.withDefaults()
+	pb := g.PageBytes
+	if pb < pager.MinPageBytes {
+		pb = rtree.NewGeometry(1).PageBytes
+	}
 	s := &Server{
-		cfg:      cfg,
-		dim:      g.Dim,
-		dyn:      rtree.NewDynamic(g),
-		queue:    make(chan *knnCall, cfg.QueueDepth),
-		done:     make(chan struct{}),
-		knnLat:   obs.NewLatencySketch(cfg.SketchSize),
-		rangeLat: obs.NewLatencySketch(cfg.SketchSize),
+		cfg:           cfg,
+		dim:           g.Dim,
+		dyn:           rtree.NewDynamic(g),
+		queue:         make(chan *knnCall, cfg.QueueDepth),
+		done:          make(chan struct{}),
+		snapPageBytes: pb,
+		knnLat:        obs.NewLatencySketch(cfg.SketchSize),
+		rangeLat:      obs.NewLatencySketch(cfg.SketchSize),
+	}
+	if recovered != nil && recovered.NumPoints > 0 {
+		if recovered.Dim != s.dim {
+			return nil, fmt.Errorf("serve: recovered snapshot dimension %d, configured %d", recovered.Dim, s.dim)
+		}
+		for r := 0; r < recovered.NumPoints; r++ {
+			s.dyn.Insert(clonePoint(recovered.Points.Row(r)))
+		}
 	}
 	for i, p := range initial {
 		if len(p) != s.dim {
@@ -230,8 +293,11 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 		s.dyn.Insert(clonePoint(p))
 	}
 	s.mu.Lock()
-	s.publishLocked()
+	err := s.publishLocked()
 	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	s.wg.Add(1)
 	go s.batchLoop()
 	return s, nil
@@ -261,9 +327,12 @@ func (s *Server) acquire() *snapshot {
 	}
 }
 
-// publishLocked flattens the dynamic tree into a fresh snapshot and
-// swaps it in. Caller holds s.mu.
-func (s *Server) publishLocked() {
+// publishLocked flattens the dynamic tree into a fresh snapshot, swaps
+// it in, and — when Config.SnapshotPath is set — writes it durably.
+// Caller holds s.mu. A durability error is returned after the
+// in-memory swap: the new generation is live for queries, but the
+// on-disk state still holds the previous one.
+func (s *Server) publishLocked() error {
 	ft := s.dyn.FlattenWith(rtree.FlattenOptions{PrefilterBits: s.cfg.PrefilterBits})
 	sn := &snapshot{
 		ft:       ft,
@@ -276,6 +345,13 @@ func (s *Server) publishLocked() {
 		old.superseded.Store(true)
 		old.tryRetire()
 	}
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	if _, err := pager.WriteFileAtomic(s.cfg.SnapshotPath, ft, s.snapPageBytes); err != nil {
+		return fmt.Errorf("serve: durable publication of generation %d: %w", sn.gen, err)
+	}
+	return nil
 }
 
 // Insert ingests one point. The point is copied; it becomes visible to
@@ -290,22 +366,38 @@ func (s *Server) Insert(p []float64) error {
 	}
 	cp := clonePoint(p)
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() { // re-check under s.mu: Close may have won the race
+		return ErrClosed
+	}
 	s.dyn.Insert(cp)
 	s.pending++
 	if s.pending >= s.cfg.FlattenEvery {
-		s.publishLocked()
+		return s.publishLocked()
 	}
-	s.mu.Unlock()
 	return nil
 }
 
-// Flush publishes any ingested-but-unpublished points immediately.
-func (s *Server) Flush() {
-	s.mu.Lock()
-	if s.pending > 0 {
-		s.publishLocked()
+// Flush publishes any ingested-but-unpublished points immediately. On
+// a closed server it returns ErrClosed without publishing — Close is
+// final; no generation may appear after it (the closed flag is
+// re-checked under s.mu, which Close fences after stopping the
+// batcher, so a Flush that loses the race with Close cannot publish on
+// the dead server). Stats and Generation remain readable after Close:
+// they only observe the last snapshot, they cannot create one.
+func (s *Server) Flush() error {
+	if s.closed.Load() {
+		return ErrClosed
 	}
-	s.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if s.pending > 0 {
+		return s.publishLocked()
+	}
+	return nil
 }
 
 // KNN answers one k-NN query. The call enqueues on the admission queue
@@ -320,9 +412,22 @@ func (s *Server) KNN(q []float64, k int) (Result, error) {
 		return Result{}, fmt.Errorf("serve: query dimension %d, index dimension %d", len(q), s.dim)
 	}
 	c := &knnCall{q: q, k: k, start: time.Now(), reply: make(chan knnReply, 1)}
+	// Enqueue under the shared send lock with a re-check of closed:
+	// a call that slips past the top-of-function check while Close runs
+	// must either observe closed here, or complete its send before
+	// Close's exclusive barrier — in which case the final drain finds
+	// it. Without this fence a send could land after the drain emptied
+	// the queue, orphaning the call.
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		return Result{}, ErrClosed
+	}
 	select {
 	case s.queue <- c:
+		s.sendMu.RUnlock()
 	default:
+		s.sendMu.RUnlock()
 		s.overloads.Add(1)
 		return Result{}, ErrOverloaded
 	}
@@ -511,8 +616,18 @@ func (s *Server) Close() error {
 	}
 	close(s.done)
 	s.wg.Wait()
-	// Fail whatever the batcher left in the queue; s.closed stops new
-	// arrivals, so this drain terminates.
+	// Sender barrier: every KNN that passed its closed re-check under
+	// the shared lock has finished its send once this exclusive
+	// acquisition succeeds; later senders observe closed. The drain
+	// below is therefore exhaustive.
+	s.sendMu.Lock()
+	s.sendMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	// Publication fence: a Flush or Insert that entered s.mu before the
+	// closed flag was set finishes (and may publish, linearized before
+	// this Close); any later one sees closed under s.mu and refuses.
+	s.mu.Lock()
+	s.mu.Unlock() //nolint:staticcheck
+	// Fail whatever is left in the queue.
 	for {
 		select {
 		case c := <-s.queue:

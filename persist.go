@@ -1,0 +1,53 @@
+package hdidx
+
+import (
+	"fmt"
+
+	"hdidx/internal/pager"
+	"hdidx/internal/rtree"
+)
+
+// This file is the facade over internal/pager: saving an index's query
+// snapshot to a page-aligned, checksummed file and reopening it later
+// without rebuilding. See DESIGN.md §12 for the format and the
+// crash-safety argument.
+
+// Save writes the index's query snapshot (the flat tree all searches
+// run on, including any prefilter codes) to path as a versioned,
+// checksummed, page-aligned snapshot file, atomically: the bytes land
+// in a temporary file that is synced and renamed over path, so a crash
+// mid-save leaves any previous file at path intact. The file's page
+// size is the index's configured page geometry (WithPageBytes).
+func (ix *Index) Save(path string) error {
+	pb := ix.g.PageBytes
+	if pb < pager.MinPageBytes {
+		pb = pager.MinPageBytes
+	}
+	_, err := pager.WriteFileAtomic(path, ix.flat, pb)
+	return err
+}
+
+// Open loads an index from a snapshot file written by Save (or by a
+// server's durable publication). The whole file is verified — header
+// and per-section checksums, then every structural invariant of the
+// tree — before any query can run, so a truncated, corrupted, or
+// foreign file fails here with an error, never later inside a search.
+//
+// The opened index answers KNN and RangeCount exactly like the index
+// that saved it (bit-identical results). It carries the query snapshot
+// only, not the build-time pointer tree.
+func Open(path string) (*Index, error) {
+	s, err := pager.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ft := s.Tree()
+	g := rtree.Geometry{Dim: ft.Dim, PageBytes: s.PageBytes(), Utilization: rtree.DefaultUtilization}
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	if ft.NumPoints == 0 {
+		return nil, fmt.Errorf("hdidx: snapshot %s holds no points", path)
+	}
+	return &Index{flat: ft, g: g}, nil
+}

@@ -32,12 +32,19 @@
 # evaluations avoided, and the speedup of each width over the
 # unfiltered b0 baseline.
 #
+# Also runs the persistence benchmark (BenchmarkPager at the root:
+# indexes saved to real page-aligned snapshot files, the k-NN workload
+# replayed through the pager read path) and writes BENCH_pager.json
+# with the predicted and measured leaf accesses, the real pages read
+# per query of each (dataset, page size) cell, and the count of cells
+# whose paged results matched the in-memory search bit for bit.
+#
 # Every BENCH_*.json records host_cpus (the machine's CPU count) and
 # gomaxprocs (the GOMAXPROCS the benchmarks actually ran at, taken
 # from the benchmark-name suffix) so numbers are never compared across
 # incomparable hosts unawares.
 #
-# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json KNNOUT=BENCH_knn.json SERVEOUT=BENCH_serve.json PREOUT=BENCH_prefilter.json]
+# Usage: scripts/bench.sh  [env: COUNT=3 BENCHTIME=20x OUT=BENCH_kernels.json BUFOUT=BENCH_buffer.json BUILDOUT=BENCH_build.json KNNOUT=BENCH_knn.json SERVEOUT=BENCH_serve.json PREOUT=BENCH_prefilter.json PAGEROUT=BENCH_pager.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,6 +56,7 @@ BUILDOUT="${BUILDOUT:-BENCH_build.json}"
 KNNOUT="${KNNOUT:-BENCH_knn.json}"
 SERVEOUT="${SERVEOUT:-BENCH_serve.json}"
 PREOUT="${PREOUT:-BENCH_prefilter.json}"
+PAGEROUT="${PAGEROUT:-BENCH_pager.json}"
 PROCS="$(nproc 2>/dev/null || echo 1)"
 
 raw="$(go test -run='^$' -bench='^BenchmarkKernel' -benchtime="$BENCHTIME" -count="$COUNT" \
@@ -313,3 +321,35 @@ END {
 
 echo "wrote $PREOUT:"
 cat "$PREOUT"
+
+pagerraw="$(go test -run='^$' -bench='^BenchmarkPager$' -benchtime="$BENCHTIME" -count="$COUNT" .)"
+echo "$pagerraw"
+
+echo "$pagerraw" | awk -v out="$PAGEROUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
+/^BenchmarkPager/ {
+	if (match($1, /-[0-9]+$/)) gm = substr($1, RSTART + 1, RLENGTH - 1)
+	# custom metric columns come as "<value> <unit>" pairs; the run is
+	# seeded so repeats agree — keep the first value of each unit.
+	for (i = 4; i < NF; i++) {
+		u = $(i + 1); v = $i + 0
+		if (u ~ /_(pred_leaf|meas_leaf|pages_q)$/ || u == "identical_rows") {
+			if (!(u in seen)) { order[++n] = u; seen[u] = 1; m[u] = v }
+		}
+	}
+}
+END {
+	printf "{\n" > out
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"count\": %d,\n", count > out
+	printf "  \"host_cpus\": %d,\n", procs > out
+	printf "  \"gomaxprocs\": %d,\n", (gm + 0 < 1 ? 1 : gm + 0) > out
+	printf "  \"metrics\": {\n" > out
+	for (i = 1; i <= n; i++) {
+		printf "    \"%s\": %.2f%s\n", order[i], m[order[i]], (i < n ? "," : "") > out
+	}
+	printf "  }\n}\n" > out
+}'
+
+echo "wrote $PAGEROUT:"
+cat "$PAGEROUT"

@@ -49,6 +49,12 @@ type ServeConfig struct {
 	// fail with ErrDeadline instead of occupying batch slots. 0 (the
 	// default) disables the deadline.
 	QueueTimeout time.Duration
+	// SnapshotPath, when non-empty, makes every snapshot publication
+	// durable: the published tree is written to this file atomically,
+	// and a restarted server recovers the persisted points from it.
+	// See Index.Save / Open for the file format. Empty (the default)
+	// serves purely in memory.
+	SnapshotPath string
 }
 
 // Server is a concurrent serving handle over an index: any number of
@@ -63,10 +69,17 @@ type Server struct {
 // the scan prefilter are configured with the same options as Build
 // (WithPageBytes, WithUtilization, WithPrefilterBits). Close the
 // server when done to stop its batcher goroutine.
+//
+// points may be empty when ServeConfig.SnapshotPath names an existing
+// snapshot file — the restarted server recovers its points (and its
+// dimensionality) from the file.
 func NewServer(points [][]float64, scfg ServeConfig, opts ...Option) (*Server, error) {
-	dim, err := validatePoints(points)
-	if err != nil {
-		return nil, err
+	dim := 0
+	if len(points) > 0 || scfg.SnapshotPath == "" {
+		var err error
+		if dim, err = validatePoints(points); err != nil {
+			return nil, err
+		}
 	}
 	c, err := newConfig(opts)
 	if err != nil {
@@ -79,6 +92,7 @@ func NewServer(points [][]float64, scfg ServeConfig, opts ...Option) (*Server, e
 		BatchSize:     scfg.BatchSize,
 		QueueTimeout:  scfg.QueueTimeout,
 		PrefilterBits: c.prefilterBits,
+		SnapshotPath:  scfg.SnapshotPath,
 	})
 	if err != nil {
 		return nil, err
@@ -113,8 +127,10 @@ func (s *Server) RangeCount(center []float64, radius float64) (int, error) {
 // the next snapshot publication.
 func (s *Server) Insert(p []float64) error { return s.srv.Insert(p) }
 
-// Flush publishes any ingested-but-unpublished points immediately.
-func (s *Server) Flush() { s.srv.Flush() }
+// Flush publishes any ingested-but-unpublished points immediately. It
+// returns ErrServerClosed on a closed server, and surfaces durable-
+// publication failures when ServeConfig.SnapshotPath is set.
+func (s *Server) Flush() error { return s.srv.Flush() }
 
 // Len returns the number of points in the current snapshot.
 func (s *Server) Len() int { return s.srv.Len() }
