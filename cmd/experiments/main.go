@@ -19,6 +19,7 @@ import (
 
 	"hdidx/internal/experiments"
 	"hdidx/internal/obs"
+	"hdidx/internal/pager"
 	"hdidx/internal/par"
 	"hdidx/internal/prof"
 )
@@ -32,7 +33,8 @@ func main() {
 		m          = flag.Int("m", 0, "memory in points (default 10000*scale)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		bufPages   = flag.Int("buffer-pages", 0, "buffer-pool page budget for the measured experiments (0 = uncached)")
-		preBits    = flag.Int("prefilter-bits", 0, "quantized scan prefilter width in bits per dimension for the serving experiment (0 = off, max 8)")
+		preBits    = flag.Int("prefilter-bits", 0, "quantized scan prefilter width in bits per dimension for the serving experiment (0 = off, max 8, -1 = auto-calibrated)")
+		backendStr = flag.String("backend", "auto", "snapshot read backend for the serving experiment's durable publications: auto, readat, or mmap (zero-copy)")
 		workers    = flag.Int("workers", 0, "worker-pool width for parallel builds and concurrent sweep rows (0 = GOMAXPROCS)")
 		trace      = flag.Bool("trace", false, "collect per-phase traces and print them after the runs")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -42,7 +44,12 @@ func main() {
 	if *workers != 0 {
 		par.SetWorkers(*workers)
 	}
-	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed, BufferPages: *bufPages, PrefilterBits: *preBits}
+	backend, err := pager.ParseBackend(*backendStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	opt := experiments.Options{Scale: *scale, Queries: *queries, K: *k, M: *m, Seed: *seed, BufferPages: *bufPages, PrefilterBits: *preBits, Backend: backend}
 	if *trace {
 		obs.Default.SetEnabled(true)
 	}

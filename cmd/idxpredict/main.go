@@ -30,7 +30,8 @@ func main() {
 		m          = flag.Int("m", 10000, "memory size in points")
 		bufPages   = flag.Int("buffer-pages", 0, "buffer-pool page budget for the simulated disk (0 = uncached; carved out of -m)")
 		pageBytes  = flag.Int("page", 8192, "index page size in bytes")
-		preBits    = flag.Int("prefilter-bits", 0, "quantized scan prefilter width of the modeled index (0 = off, max 8; never changes predicted accesses, accepted for config parity with serving deployments)")
+		preBits    = flag.Int("prefilter-bits", 0, "quantized scan prefilter width of the modeled index (0 = off, max 8, -1 = auto-calibrated at build time; never changes predicted accesses, accepted for config parity with serving deployments)")
+		backendStr = flag.String("backend", "auto", "snapshot read backend for -load: auto, readat, or mmap (zero-copy)")
 		radius     = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "worker-pool width for parallel build and scans (0 = GOMAXPROCS)")
@@ -113,7 +114,11 @@ func main() {
 	if *measure {
 		var measured float64
 		if *loadPath != "" {
-			measured, err = measureLoaded(*loadPath, d.Points, *radius, *k, *q, *seed)
+			backend, berr := hdidx.ParseBackend(*backendStr)
+			if berr != nil {
+				die(berr)
+			}
+			measured, err = measureLoaded(*loadPath, backend, d.Points, *radius, *k, *q, *seed)
 		} else if *radius > 0 {
 			measured, err = p.MeasureRangeAccesses(*radius, opts)
 		} else {
@@ -131,13 +136,18 @@ func main() {
 // measureLoaded answers the same seeded workload the predictors model,
 // but against an index opened from a saved snapshot file — verifying a
 // persisted index serves exactly what a freshly built one would.
-func measureLoaded(path string, points [][]float64, radius float64, k, q int, seed int64) (float64, error) {
-	ix, err := hdidx.Open(path)
+func measureLoaded(path string, backend hdidx.Backend, points [][]float64, radius float64, k, q int, seed int64) (float64, error) {
+	ix, err := hdidx.OpenWith(path, backend)
 	if err != nil {
 		return 0, err
 	}
-	fmt.Printf("loaded snapshot:      %s (%d points, %d leaves, height %d)\n",
-		path, ix.Len(), ix.NumLeaves(), ix.Height())
+	defer ix.Close()
+	serving := "resident"
+	if ix.Mapped() {
+		serving = "mmap (zero-copy)"
+	}
+	fmt.Printf("loaded snapshot:      %s (%d points, %d leaves, height %d, %s)\n",
+		path, ix.Len(), ix.NumLeaves(), ix.Height(), serving)
 	if k > ix.Len() {
 		k = ix.Len()
 	}

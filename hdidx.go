@@ -28,6 +28,7 @@ import (
 	"hdidx/internal/core"
 	"hdidx/internal/disk"
 	"hdidx/internal/obs"
+	"hdidx/internal/pager"
 	"hdidx/internal/par"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
@@ -69,8 +70,8 @@ func newConfig(opts []Option) (config, error) {
 	if c.utilization <= 0 || c.utilization > 1 {
 		return config{}, fmt.Errorf("hdidx: utilization %g outside (0, 1]", c.utilization)
 	}
-	if c.prefilterBits < 0 || c.prefilterBits > 8 {
-		return config{}, fmt.Errorf("hdidx: prefilter bits %d outside [0, 8]", c.prefilterBits)
+	if (c.prefilterBits < 0 && c.prefilterBits != PrefilterAuto) || c.prefilterBits > 8 {
+		return config{}, fmt.Errorf("hdidx: prefilter bits %d outside [0, 8] and not PrefilterAuto", c.prefilterBits)
 	}
 	return c, nil
 }
@@ -108,15 +109,24 @@ func WithUtilization(u float64) Option {
 	return func(c *config) { c.utilization = u }
 }
 
+// PrefilterAuto, passed to WithPrefilterBits, calibrates the prefilter
+// width empirically at build time: the flatten measures an exact leaf
+// scan against bound-filtered scans at candidate widths on a sample of
+// the indexed points and keeps the fastest — or no prefilter at all
+// when none pays for itself (the typical outcome at very high
+// dimensionality, where code arrays cost more to stream than the exact
+// evaluations they avoid).
+const PrefilterAuto = rtree.PrefilterAuto
+
 // WithPrefilterBits enables the quantized scan prefilter of the flat
 // query snapshot: leaf points are scalar-quantized to the given number
 // of bits per dimension at build time, and k-NN searches use cheap
 // lower/upper distance bounds over the byte codes to skip most exact
 // distance evaluations. Results are bit-identical to the unfiltered
 // search; only speed changes. Valid widths are 0 (off, the default)
-// through 8; other values are rejected by Build. The predictor ignores
-// this option — it models page accesses, which the prefilter never
-// changes.
+// through 8, plus PrefilterAuto for build-time calibration; other
+// values are rejected by Build. The predictor ignores this option — it
+// models page accesses, which the prefilter never changes.
 func WithPrefilterBits(bits int) Option {
 	return func(c *config) { c.prefilterBits = bits }
 }
@@ -128,10 +138,14 @@ func (c config) geometry(dim int) rtree.Geometry {
 // Index is a bulk-loaded VAMSplit R*-tree. Queries run over a
 // linearized snapshot of the tree (rtree.FlatTree) built once at Build
 // time; the pointer tree is retained for prediction and introspection.
+// An Index from OpenWith with the mmap backend serves its snapshot
+// zero-copy from a read-only file mapping (snap non-nil); Close
+// releases the mapping.
 type Index struct {
 	tree *rtree.Tree
 	flat *rtree.FlatTree
 	g    rtree.Geometry
+	snap *pager.Snapshot // non-nil iff flat is mmap-backed
 }
 
 // Build bulk-loads an index over points. The input slice is not

@@ -136,9 +136,34 @@ func TestBuildWithPrefilterBits(t *testing.T) {
 			}
 		}
 	}
-	for _, bits := range []int{-1, 9} {
+	for _, bits := range []int{-2, 9} {
 		if _, err := Build(pts, WithPrefilterBits(bits)); err == nil {
 			t.Errorf("prefilter bits %d accepted, want error", bits)
+		}
+	}
+	// -1 is PrefilterAuto: accepted, and the built index stays
+	// bit-identical to the unfiltered one whatever width it picked.
+	auto, err := Build(pts, WithPrefilterBits(PrefilterAuto))
+	if err != nil {
+		t.Fatalf("PrefilterAuto rejected: %v", err)
+	}
+	q := pts[7]
+	an, ast, err := auto.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, pst, err := plain.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Radius != pst.Radius {
+		t.Fatalf("auto-tuned radius %v != plain %v", ast.Radius, pst.Radius)
+	}
+	for j := range an {
+		for d := range an[j] {
+			if an[j][d] != pn[j][d] {
+				t.Fatalf("neighbor %d differs between auto-tuned and plain index", j)
+			}
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"hdidx/internal/dataset"
 	"hdidx/internal/disk"
 	"hdidx/internal/obs"
+	"hdidx/internal/pager"
 	"hdidx/internal/query"
 	"hdidx/internal/rtree"
 )
@@ -43,11 +44,16 @@ type Options struct {
 	// budgets.
 	BufferPages int
 	// PrefilterBits enables the quantized scan prefilter (bits per
-	// dimension, 0 = off) on the snapshots the serving experiment
-	// publishes. Results are bit-identical either way; only the
-	// latency and throughput numbers move. Other experiments measure
-	// page accesses, which the prefilter never changes, and ignore it.
+	// dimension, 0 = off, rtree.PrefilterAuto = flatten-time
+	// calibration) on the snapshots the serving experiment publishes.
+	// Results are bit-identical either way; only the latency and
+	// throughput numbers move. Other experiments measure page
+	// accesses, which the prefilter never changes, and ignore it.
 	PrefilterBits int
+	// Backend selects how the serving experiment's durably published
+	// snapshots are read back (pager.BackendAuto/ReadAt/Mmap). The
+	// pager experiment always measures both backends and ignores it.
+	Backend pager.Backend
 }
 
 // withDefaults fills unset fields.

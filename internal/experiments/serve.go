@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,6 +36,9 @@ type ServeResult struct {
 	// PrefilterBits is the quantized-scan prefilter width the served
 	// snapshots carried (0 = unfiltered).
 	PrefilterBits int
+	// Mapped reports whether the final generation was served zero-copy
+	// from its durably published file's read-only mapping.
+	Mapped bool
 	// Served is the number of k-NN queries answered; Overloads counts
 	// admission-queue rejections (retried by the readers).
 	Served    int64
@@ -69,11 +74,21 @@ func Serve(opt Options) (ServeResult, error) {
 		k = len(data)
 	}
 
+	// Publications are durable into a temp file so the experiment
+	// exercises the full publication path — write, reopen through
+	// opt.Backend (zero-copy mmap where resolved), retire-unmap.
+	dir, err := os.MkdirTemp("", "hdidx-serve-")
+	if err != nil {
+		return ServeResult{}, fmt.Errorf("serve: %w", err)
+	}
+	defer os.RemoveAll(dir)
 	srv, err := serve.New(data, serve.Config{
 		FlattenEvery:  128,
 		QueueDepth:    256,
 		BatchSize:     16,
 		PrefilterBits: opt.PrefilterBits,
+		SnapshotPath:  filepath.Join(dir, "serve.hdsn"),
+		Backend:       opt.Backend,
 	})
 	if err != nil {
 		return ServeResult{}, fmt.Errorf("serve: %w", err)
@@ -154,6 +169,7 @@ func Serve(opt Options) (ServeResult, error) {
 		Readers:       readers,
 		K:             k,
 		PrefilterBits: opt.PrefilterBits,
+		Mapped:        st.Mapped,
 		Served:        served.Load(),
 		Overloads:     st.Overloads,
 		Inserted:      inserts,
@@ -176,8 +192,12 @@ func (r ServeResult) String() string {
 		r.Readers, r.Dataset, r.N, r.Dim, r.K, filter)
 	fmt.Fprintf(&b, "served %d queries in %v (%.0f q/s), %d rejected for backpressure\n",
 		r.Served, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Overloads)
-	fmt.Fprintf(&b, "ingested %d points across %d snapshot generations (%d retired)\n",
-		r.Inserted, r.Generations, r.Retired)
+	serving := "resident snapshots"
+	if r.Mapped {
+		serving = "mmap-backed snapshots (zero-copy)"
+	}
+	fmt.Fprintf(&b, "ingested %d points across %d snapshot generations (%d retired, %s)\n",
+		r.Inserted, r.Generations, r.Retired, serving)
 	fmt.Fprintf(&b, "k-NN latency: p50 %v  p95 %v  p99 %v  max %v  (mean %v over %d)\n",
 		r.KNN.P50.Round(time.Microsecond), r.KNN.P95.Round(time.Microsecond),
 		r.KNN.P99.Round(time.Microsecond), r.KNN.Max.Round(time.Microsecond),

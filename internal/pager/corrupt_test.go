@@ -3,10 +3,13 @@ package pager
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hdidx/internal/query"
@@ -140,6 +143,48 @@ func TestOpenForeignFiles(t *testing.T) {
 	}
 	if _, err := Open(filepath.Join(t.TempDir(), "missing.hdsn")); err == nil {
 		t.Error("open accepted a missing file")
+	}
+}
+
+// TestOpenZeroLengthAndSubHeader pins the clean-error contract on the
+// two smallest malformed files: a zero-length file and one shorter
+// than the header. Both must fail with a descriptive error — never an
+// io.EOF (or io.ErrUnexpectedEOF) surprise leaking from a short read —
+// on every backend, forced and auto.
+func TestOpenZeroLengthAndSubHeader(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"zero-length", nil},
+		{"one byte", []byte{'H'}},
+		{"sub-header", bytes.Repeat([]byte{0xAB}, headerBytes-1)},
+		{"magic only", []byte(Magic)},
+	}
+	backends := []Options{{}, {Backend: BackendReadAt}}
+	if MmapSupported() {
+		backends = append(backends, Options{Backend: BackendMmap})
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, "bad")
+		if err := os.WriteFile(path, c.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range backends {
+			s, err := OpenWith(path, opts)
+			if err == nil {
+				s.Close()
+				t.Fatalf("%s/%v: open accepted a %d-byte file", c.name, opts.Backend, len(c.data))
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("%s/%v: io.EOF leaked: %v", c.name, opts.Backend, err)
+			}
+			if !strings.Contains(err.Error(), "empty file") &&
+				!strings.Contains(err.Error(), "too short") {
+				t.Fatalf("%s/%v: undescriptive error: %v", c.name, opts.Backend, err)
+			}
+		}
 	}
 }
 

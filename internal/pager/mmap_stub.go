@@ -1,0 +1,19 @@
+//go:build !(linux || darwin)
+
+package pager
+
+import (
+	"fmt"
+	"os"
+)
+
+// Platforms without the mmap backend: BackendAuto resolves to ReadAt
+// (MmapSupported is false) and a forced BackendMmap fails cleanly.
+
+const mmapSupported = false
+
+func openMmap(f *os.File, path string, h *header, size int64) (*Snapshot, error) {
+	return nil, fmt.Errorf("%w: not supported on this platform", ErrMmapUnavailable)
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -2,6 +2,7 @@ package pager
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -16,22 +17,36 @@ import (
 )
 
 // Snapshot is an open snapshot file. Open verifies the whole file
-// (header, every section checksum, every structural invariant) and
-// keeps a resident FlatTree for Tree(); alongside it, LeafRows is a
-// pager read path that fetches leaf point rows with real page-granular
-// ReadAt calls against the points section, counting seeks and
-// transfers with the same adjacency rule as the simulated disk
-// (internal/disk). That is what lets experiments compare the paper's
-// *predicted* leaf accesses against page reads *measured* on a real
-// filesystem: run the search once over the resident tree for
-// bit-identical results, and once over the pager to count actual I/O.
+// (header, every section checksum, every structural invariant) before
+// returning; how the tree is then served depends on the Backend.
 //
-// A Snapshot is safe for concurrent use.
+// With BackendReadAt (the original pager) the tree is resident:
+// Tree() is a heap copy that stays valid after Close, and LeafRows
+// fetches leaf point rows with real page-granular ReadAt calls
+// against the points section, counting seeks and transfers with the
+// same adjacency rule as the simulated disk (internal/disk).
+//
+// With BackendMmap the tree is served zero-copy from a read-only
+// mapping of the file: Tree()'s arrays and every slice LeafRows
+// returns are views into the map, valid only until Close (which
+// unmaps), and page touches are counted at fault granularity — the
+// first touch of each points page since ResetCounters is a
+// transfer+miss, later touches are hits.
+//
+// Either way the counters let experiments compare the paper's
+// *predicted* leaf accesses against page I/O *measured* on a real
+// filesystem. A Snapshot is safe for concurrent use.
 type Snapshot struct {
-	f    *os.File
-	path string
-	h    *header
-	tree *rtree.FlatTree
+	f       *os.File // nil for the mmap backend (the mapping outlives the fd)
+	path    string
+	h       *header
+	tree    *rtree.FlatTree
+	backend Backend
+
+	// mapped is the whole-file mapping and points its zero-copy
+	// points-section view (mmap backend only).
+	mapped []byte
+	points []float64
 
 	// pointsOff/pointsLen locate the points section in the file.
 	pointsOff int64
@@ -39,37 +54,74 @@ type Snapshot struct {
 
 	mu       sync.Mutex
 	counters disk.Counters
-	lastPage int64 // last page touched by LeafRows; -1 = none
+	lastPage int64 // last page touched (ReadAt) or faulted (mmap); -1 = none
 
-	bufPool sync.Pool // *[]byte page-run scratch for LeafRows
+	// faulted is the touched-page bitmap over the points section's
+	// pages (mmap backend): a set bit means the page was charged as a
+	// fault since the last ResetCounters.
+	faulted []uint64
+
+	closeOnce sync.Once
+	closeErr  error
+
+	bufPool sync.Pool // *[]byte page-run scratch for ReadAt LeafRows
 }
 
-// Open opens and fully verifies a snapshot file. Any corruption —
-// truncation, bit flips in the header or any section, version skew, or
-// a foreign file — is reported as an error; Open never panics on bad
-// bytes and never returns a tree that could panic a later search.
-func Open(path string) (*Snapshot, error) {
+// Options configures OpenWith.
+type Options struct {
+	// Backend selects the read path; see the Backend constants. The
+	// zero value is BackendAuto.
+	Backend Backend
+}
+
+// Open opens and fully verifies a snapshot file with BackendAuto. Any
+// corruption — truncation, bit flips in the header or any section,
+// version skew, or a foreign file — is reported as an error; Open
+// never panics on bad bytes and never returns a tree that could panic
+// a later search.
+func Open(path string) (*Snapshot, error) { return OpenWith(path, Options{}) }
+
+// OpenWith is Open with an explicit backend choice. BackendAuto picks
+// mmap where supported and falls back to ReadAt when the map cannot be
+// established; an explicit BackendMmap fails with ErrMmapUnavailable
+// instead of falling back.
+func OpenWith(path string, opts Options) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s, err := open(f, path)
+	s, err := open(f, path, opts)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
+	if s.backend == BackendMmap {
+		// The mapping outlives the descriptor; holding no fd means a
+		// long-lived served snapshot costs one mapping, zero handles.
+		f.Close()
+		s.f = nil
+	}
 	return s, nil
 }
 
-func open(f *os.File, path string) (*Snapshot, error) {
+func open(f *os.File, path string, opts Options) (*Snapshot, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err
 	}
 	size := st.Size()
+	// Explicit size gates before any read: a zero-length or sub-header
+	// file is a clean, descriptive error — never an io.EOF surprise
+	// from a short read.
+	if size == 0 {
+		return nil, fmt.Errorf("empty file: not a snapshot")
+	}
+	if size < int64(headerBytes) {
+		return nil, fmt.Errorf("file too short for a snapshot header (%d bytes, need %d)", size, headerBytes)
+	}
 	hdrBuf := make([]byte, headerBytes)
 	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), hdrBuf); err != nil {
-		return nil, fmt.Errorf("file too short for a snapshot header (%d bytes)", size)
+		return nil, fmt.Errorf("reading snapshot header: %v", err)
 	}
 	h, err := decodeHeader(hdrBuf)
 	if err != nil {
@@ -123,6 +175,20 @@ func open(f *os.File, path string) (*Snapshot, error) {
 		if offset > size {
 			return nil, fmt.Errorf("truncated file: section %d (kind %d) ends at %d of %d bytes",
 				i, sec.kind, offset, size)
+		}
+	}
+
+	backend, canFallBack := resolveBackend(opts.Backend)
+	if backend == BackendMmap {
+		s, merr := openMmap(f, path, h, size)
+		switch {
+		case merr == nil:
+			return s, nil
+		case errors.Is(merr, ErrMmapUnavailable) && canFallBack:
+			// Auto choice and the map could not be established —
+			// graceful fallback to the resident ReadAt path below.
+		default:
+			return nil, merr
 		}
 	}
 
@@ -183,6 +249,7 @@ func open(f *os.File, path string) (*Snapshot, error) {
 		path:      path,
 		h:         h,
 		tree:      tree,
+		backend:   BackendReadAt,
 		pointsOff: pointsOff,
 		pointsLen: pointsLen,
 		lastPage:  -1,
@@ -222,9 +289,21 @@ func decodeFloat64s(b []byte) []float64 {
 	return out
 }
 
-// Tree returns the verified resident FlatTree. It remains valid after
-// Close; searches over it never touch the file.
+// Tree returns the verified FlatTree. With BackendReadAt it is
+// resident and remains valid after Close; with BackendMmap its arrays
+// are views into the mapping and must not be used after Close unmaps
+// them.
 func (s *Snapshot) Tree() *rtree.FlatTree { return s.tree }
+
+// Backend returns the read path this snapshot was opened with (never
+// BackendAuto — Open resolves the choice).
+func (s *Snapshot) Backend() Backend { return s.backend }
+
+// ZeroCopy reports whether LeafRows returns views into the snapshot's
+// mapped memory rather than buf-backed copies. Callers that recycle
+// returned slices as scratch buffers (the paged search kernels) must
+// not do so when this is true.
+func (s *Snapshot) ZeroCopy() bool { return s.backend == BackendMmap }
 
 // Path returns the file path the snapshot was opened from.
 func (s *Snapshot) Path() string { return s.path }
@@ -237,14 +316,23 @@ func (s *Snapshot) PageBytes() int { return s.h.pageBytes }
 // are ultimately priced against.
 func (s *Snapshot) Pages() int64 { return pagePad(s.pointsLen, s.h.pageBytes) / int64(s.h.pageBytes) }
 
-// LeafRows reads point rows [start, end) from the points section with
-// real page-granular I/O, decoding them into buf (grown as needed) in
-// the same row-major layout as the resident matrix. The rows of one
-// call come from one contiguous ReadAt spanning whole pages; the
-// counters charge one transfer per page and one seek when the first
-// page is not adjacent to the last page previously read, mirroring the
-// simulated disk's accounting. The returned slice aliases buf and is
-// overwritten by the next call with the same buf.
+// LeafRows returns point rows [start, end) of the points section in
+// the same row-major layout as the resident matrix.
+//
+// With BackendReadAt the rows are read with real page-granular I/O —
+// one contiguous ReadAt spanning whole pages — and decoded into buf
+// (grown as needed); the counters charge one transfer per page and one
+// seek when the first page is not adjacent to the last page previously
+// read, mirroring the simulated disk's accounting. The returned slice
+// aliases buf and is overwritten by the next call with the same buf.
+//
+// With BackendMmap the rows are a zero-copy view straight into the
+// mapped points section — no syscall, no decode, buf is ignored — and
+// the counters charge at fault granularity: a page's first touch since
+// ResetCounters is a transfer+miss (plus a seek when not adjacent to
+// the previously faulted page), later touches are hits. The view stays
+// readable until Close; callers that retain rows must still copy them
+// (the LeafSource contract).
 //
 // The file was fully verified at Open, so a read failure here is an
 // environmental I/O error (device gone, file unlinked and truncated
@@ -257,6 +345,9 @@ func (s *Snapshot) LeafRows(start, end int, buf []float64) []float64 {
 	}
 	if n == 0 {
 		return buf[:0]
+	}
+	if s.backend == BackendMmap {
+		return s.leafRowsMmap(start, end)
 	}
 	pb := int64(s.h.pageBytes)
 	byteOff := s.pointsOff + int64(start)*int64(dim)*8
@@ -298,6 +389,37 @@ func (s *Snapshot) LeafRows(start, end int, buf []float64) []float64 {
 	return out
 }
 
+// leafRowsMmap serves rows [start, end) as a view into the mapped
+// points section, charging first-touch faults. Bounds were checked by
+// LeafRows.
+func (s *Snapshot) leafRowsMmap(start, end int) []float64 {
+	dim := s.h.dim
+	pb := int64(s.h.pageBytes)
+	byteOff := s.pointsOff + int64(start)*int64(dim)*8
+	byteLen := int64(end-start) * int64(dim) * 8
+	firstPage := byteOff / pb
+	lastPage := (byteOff + byteLen - 1) / pb
+	base := s.pointsOff / pb
+
+	s.mu.Lock()
+	for p := firstPage; p <= lastPage; p++ {
+		idx := int(p - base)
+		if s.faulted[idx>>6]&(1<<(idx&63)) != 0 {
+			s.counters.Hits++
+			continue
+		}
+		s.faulted[idx>>6] |= 1 << (idx & 63)
+		if p != s.lastPage+1 {
+			s.counters.Seeks++
+		}
+		s.counters.Transfers++
+		s.counters.Misses++
+		s.lastPage = p
+	}
+	s.mu.Unlock()
+	return s.points[start*dim : end*dim]
+}
+
 // Counters returns the accumulated pager I/O counters. Snapshot
 // implements obs.CounterSource, so a pager can sit behind an obs.Trace
 // and have its page reads show up in phase reports exactly like the
@@ -309,23 +431,50 @@ func (s *Snapshot) Counters() disk.Counters {
 }
 
 // ResetCounters zeroes the counters and forgets the head position, so
-// the next read is charged a seek.
+// the next read is charged a seek. For the mmap backend it also clears
+// the touched-page bitmap: the fault accounting models a page cache
+// that is cold at reset (each page's first touch per measured workload
+// is counted once), which is what makes measured mmap cost comparable
+// to the simulator's — the kernel's real residency is not observable
+// per touch.
 func (s *Snapshot) ResetCounters() {
 	s.mu.Lock()
 	s.counters = disk.Counters{}
 	s.lastPage = -1
+	for i := range s.faulted {
+		s.faulted[i] = 0
+	}
 	s.mu.Unlock()
 }
 
-// Close releases the file handle. The resident tree stays usable;
-// LeafRows panics after Close.
-func (s *Snapshot) Close() error { return s.f.Close() }
+// Close releases the snapshot's resources, exactly once (further calls
+// return the first result). With BackendReadAt it closes the file
+// handle; the resident tree stays usable and only LeafRows dies. With
+// BackendMmap it unmaps the file — the tree and every row view become
+// invalid, so Close must happen strictly after the last reader is done
+// (the serving layer ties it to the snapshot-retire protocol).
+func (s *Snapshot) Close() error {
+	s.closeOnce.Do(func() {
+		if s.mapped != nil {
+			s.closeErr = munmapFile(s.mapped)
+			s.mapped = nil
+		}
+		if s.f != nil {
+			if err := s.f.Close(); s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
 
 // Load opens, verifies, and closes path, returning just the resident
 // tree — the convenience entry point for callers (server recovery, the
-// facade) that want the tree without the pager read path.
+// facade) that want the tree without the pager read path. It always
+// uses the ReadAt backend: the returned tree must outlive the file
+// handle, which a mapped tree cannot.
 func Load(path string) (*rtree.FlatTree, error) {
-	s, err := Open(path)
+	s, err := OpenWith(path, Options{Backend: BackendReadAt})
 	if err != nil {
 		return nil, err
 	}

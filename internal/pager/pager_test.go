@@ -165,9 +165,11 @@ func TestPagedSearchOverFile(t *testing.T) {
 	}
 }
 
-// TestLeafRowsAccounting pins the adjacency rule: re-reading the same
-// page run and reading the next adjacent page are seek-free; jumping
-// backwards seeks.
+// TestLeafRowsAccounting pins the ReadAt adjacency rule: re-reading
+// the same page run and reading the next adjacent page are seek-free;
+// jumping backwards seeks. (The backend is forced: every page touch is
+// recharged per call, unlike the mmap backend's first-touch faults —
+// see TestMmapFaultAccounting.)
 func TestLeafRowsAccounting(t *testing.T) {
 	// dim 64 at 512-byte pages: one row is exactly one page.
 	ft := buildFlat(t, 256, 64, 0, 9)
@@ -175,7 +177,7 @@ func TestLeafRowsAccounting(t *testing.T) {
 	if _, err := WriteFile(path, ft, 512); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	s, err := Open(path)
+	s, err := OpenWith(path, Options{Backend: BackendReadAt})
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}

@@ -1,0 +1,147 @@
+package query
+
+import (
+	"time"
+
+	"hdidx/internal/rtree"
+)
+
+// The measured prefilter calibrator behind rtree.PrefilterAuto. It
+// lives here — not in rtree — because the measurement runs the very
+// searches a caller will pay for: KNNSearchFlat over the freshly
+// flattened tree, unfiltered and then with the prefilter built at
+// each candidate width. The init registration inverts the
+// rtree → query import cycle that a direct call would create.
+//
+// Method: end-to-end, on the real tree. An earlier design timed raw
+// leaf scans over a sampled point matrix; it systematically
+// overestimated the prefilter (1.35× measured at d=16 where the real
+// search loses ~5%) because a query's cost is not the leaf scan alone
+// — directory traversal, heap maintenance, and the early-exiting
+// exact evaluations the bound scan replaces all dilute the win, and
+// the sample's looser k-th radius flattered the bounds. So the
+// calibrator now times calibQueries real searches (query points
+// strided from the tree's own rows, deterministic for a given tree):
+// once unfiltered for the baseline, then once per candidate width
+// with the prefilter actually built over all points. Each pass runs
+// calibRounds times and keeps the minimum — the standard benchmarking
+// defense against scheduler noise. The fastest candidate is adopted
+// only when it beats the unfiltered baseline by calibMargin;
+// otherwise the tree flattens with no prefilter at all, which is
+// exactly right in the regimes where codes cost more than they save.
+//
+// Cost: candidate code arrays are built over the full tree (the same
+// work a fixed-width flatten does, once per candidate), and the
+// winner's arrays are kept — never rebuilt. Auto is opt-in and the
+// whole calibration is a few dozen queries, so flattens that ask for
+// it pay a bounded, flatten-time-only premium.
+
+func init() {
+	rtree.SetPrefilterCalibrator(calibratePrefilter)
+}
+
+const (
+	calibQueries = 8
+	calibK       = 21
+	calibRounds  = 3
+	// calibMargin is the end-to-end speedup a candidate must reach
+	// before the prefilter is worth its code-array footprint and
+	// build time.
+	calibMargin = 1.05
+)
+
+// calibSink defeats dead-code elimination of the timed searches.
+var calibSink int
+
+// calibratePrefilter times real searches over ft at each candidate
+// prefilter width and returns the decision rtree adopts. On return ft
+// carries the winning width's arrays (built once, during its timed
+// trial) or no prefilter when no candidate beat the margin.
+func calibratePrefilter(ft *rtree.FlatTree, candidates []int) rtree.PrefilterCalibration {
+	n, dim := ft.NumPoints, ft.Dim
+	k := calibK
+	if k > n {
+		k = n
+	}
+	// Query points: copies of rows strided across the packed matrix.
+	// Using indexed rows rather than fresh randomness keeps calibration
+	// deterministic for a given tree.
+	queries := make([][]float64, calibQueries)
+	for qi := range queries {
+		r := (qi*n)/calibQueries + qi%7
+		if r >= n {
+			r = n - 1
+		}
+		q := make([]float64, dim)
+		copy(q, ft.Points.Data[r*dim:r*dim+dim])
+		queries[qi] = q
+	}
+
+	// visitedSkipped accumulates the prefilter counters of one pass so
+	// AvoidedFrac reports what the bound scan really avoided.
+	var visited, skipped int
+	pass := func() {
+		visited, skipped = 0, 0
+		for _, q := range queries {
+			res := KNNSearchFlat(ft, q, k)
+			calibSink += res.LeafAccesses
+			visited += res.PrefilterVisited
+			skipped += res.PrefilterSkipped
+		}
+	}
+
+	ft.StripPrefilter() // defensive: the baseline must be unfiltered
+	exactNs := minNsPerQuery(len(queries), pass)
+
+	cal := rtree.PrefilterCalibration{
+		SampleRows: n,
+		Queries:    len(queries),
+		ExactNs:    exactNs,
+	}
+	bestNs := exactNs / calibMargin
+	var chosenCodes []byte
+	var chosenMarks []float64
+	for _, bits := range candidates {
+		ft.BuildPrefilter(bits)
+		ns := minNsPerQuery(len(queries), pass)
+		avoided := 0.0
+		if visited > 0 {
+			avoided = float64(skipped) / float64(visited)
+		}
+		cal.Candidates = append(cal.Candidates, rtree.PrefilterCandidate{
+			Bits:        bits,
+			AvoidedFrac: avoided,
+			NsPerQuery:  ns,
+			Speedup:     exactNs / ns,
+		})
+		if ns < bestNs {
+			bestNs = ns
+			cal.Chosen = bits
+			chosenCodes, chosenMarks = ft.Codes, ft.Marks
+		}
+	}
+	if cal.Chosen == 0 {
+		ft.StripPrefilter()
+		cal.Reason = "no candidate beat the unfiltered search by the margin; flattening without a prefilter"
+	} else {
+		// Reinstate the winner's arrays from its trial — no rebuild.
+		ft.PrefilterBits = cal.Chosen
+		ft.Codes, ft.Marks = chosenCodes, chosenMarks
+		cal.Reason = "fastest measured end-to-end search"
+	}
+	return cal
+}
+
+// minNsPerQuery runs fn calibRounds times and returns the minimum
+// elapsed time divided by the query count, in nanoseconds.
+func minNsPerQuery(queries int, fn func()) float64 {
+	var best time.Duration
+	for round := 0; round < calibRounds; round++ {
+		start := time.Now()
+		fn()
+		if el := time.Since(start); round == 0 || el < best {
+			best = el
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(queries)
+}

@@ -1,0 +1,81 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"hdidx/internal/rtree"
+)
+
+// flattenAuto builds a tree and flattens it with PrefilterAuto.
+func flattenAuto(t *testing.T, n, dim int, seed int64) *rtree.FlatTree {
+	t.Helper()
+	tr := rtree.Build(uniformPoints(n, dim, seed), rtree.BuildParams{LeafCap: 32, DirCap: 8})
+	return tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: rtree.PrefilterAuto})
+}
+
+// TestAutoTuneRecordsDecision checks the PrefilterAuto contract: the
+// flatten records a calibration with per-candidate measurements, the
+// adopted width matches the decision, and the width never exceeds 6
+// bits — in particular at dimension 60, where the measured b8
+// regression motivated the clamp.
+func TestAutoTuneRecordsDecision(t *testing.T) {
+	for _, dim := range []int{8, 60} {
+		ft := flattenAuto(t, 3000, dim, int64(dim))
+		cal := ft.Calibration
+		if cal == nil {
+			t.Fatalf("d%d: no calibration recorded", dim)
+		}
+		if len(cal.Candidates) == 0 || cal.SampleRows == 0 || cal.ExactNs <= 0 {
+			t.Fatalf("d%d: calibration did not measure: %+v", dim, cal)
+		}
+		if cal.Chosen > 6 {
+			t.Fatalf("d%d: auto-tune chose %d bits, wider than the 6-bit clamp", dim, cal.Chosen)
+		}
+		if ft.PrefilterBits != cal.Chosen {
+			t.Fatalf("d%d: tree has %d prefilter bits, calibration chose %d", dim, ft.PrefilterBits, cal.Chosen)
+		}
+		if cal.Chosen > 0 && (len(ft.Codes) == 0 || len(ft.Marks) == 0) {
+			t.Fatalf("d%d: chosen width %d but no prefilter arrays built", dim, cal.Chosen)
+		}
+		if cal.Chosen == 0 && (len(ft.Codes) != 0 || len(ft.Marks) != 0) {
+			t.Fatalf("d%d: no width chosen but prefilter arrays present", dim)
+		}
+		for _, c := range cal.Candidates {
+			if c.NsPerQuery <= 0 || c.AvoidedFrac < 0 || c.AvoidedFrac > 1 {
+				t.Fatalf("d%d: nonsense candidate measurement: %+v", dim, c)
+			}
+		}
+	}
+}
+
+// TestAutoTuneBitIdentical checks that searches over an auto-tuned
+// tree are bit-identical to the unfiltered flatten of the same tree —
+// whatever width calibration picked.
+func TestAutoTuneBitIdentical(t *testing.T) {
+	pts := uniformPoints(2000, 12, 77)
+	tr := rtree.Build(pts, rtree.BuildParams{LeafCap: 32, DirCap: 8})
+	auto := tr.FlattenWith(rtree.FlattenOptions{PrefilterBits: rtree.PrefilterAuto})
+	plain := tr.Flatten()
+	queries := uniformPoints(25, 12, 78)
+	for _, q := range queries {
+		want := KNNSearchFlat(plain, q, 10)
+		got := KNNSearchFlat(auto, q, 10)
+		if want.Radius != got.Radius || want.LeafAccesses != got.LeafAccesses ||
+			!reflect.DeepEqual(want.Neighbors, got.Neighbors) {
+			t.Fatalf("auto-tuned search diverges from unfiltered (chose %d bits)", auto.PrefilterBits)
+		}
+	}
+}
+
+// TestAutoTuneSmallTreeSkips checks that trees under the calibration
+// floor flatten without a prefilter and say why.
+func TestAutoTuneSmallTreeSkips(t *testing.T) {
+	ft := flattenAuto(t, 100, 6, 5)
+	if ft.Calibration == nil || ft.Calibration.Chosen != 0 || ft.Calibration.Reason == "" {
+		t.Fatalf("small tree: %+v", ft.Calibration)
+	}
+	if ft.PrefilterBits != 0 || len(ft.Codes) != 0 {
+		t.Fatalf("small tree built a prefilter: %d bits", ft.PrefilterBits)
+	}
+}

@@ -30,11 +30,31 @@ import (
 
 // LeafSource supplies leaf point rows [start, end) as one row-major
 // run, using buf as scratch when it is large enough. The returned
-// slice may alias buf or the source's internal buffer and is only
-// valid until the next call — callers must copy rows they retain.
-// pager.Snapshot implements it with real page-granular file reads.
+// slice may alias buf, the source's internal buffer, or (for a
+// zero-copy source) read-only memory the source owns, and is only
+// valid until the next call — callers must copy rows they retain and
+// must never write through it. pager.Snapshot implements it with real
+// page-granular file reads (ReadAt backend) or views into a read-only
+// file mapping (mmap backend).
 type LeafSource interface {
 	LeafRows(start, end int, buf []float64) []float64
+}
+
+// zeroCopySource marks a LeafSource whose LeafRows results are views
+// into source-owned (possibly write-protected) memory rather than
+// buf-backed copies. The paged kernels recycle large returned slices
+// as scratch for later calls — a write into a read-only mapping — so
+// they skip that recycling when ZeroCopy reports true.
+// pager.Snapshot implements it.
+type zeroCopySource interface {
+	ZeroCopy() bool
+}
+
+// isZeroCopy reports whether src's rows must not be adopted as
+// writable scratch.
+func isZeroCopy(src LeafSource) bool {
+	zc, ok := src.(zeroCopySource)
+	return ok && zc.ZeroCopy()
 }
 
 // MatrixSource adapts an in-memory point matrix to LeafSource for
@@ -109,6 +129,7 @@ func knnPaged(ft *rtree.FlatTree, src LeafSource, q []float64, k int, wantNeighb
 	if wantNeighbors {
 		sc.nbrs.reset(k)
 	}
+	adopt := !isZeroCopy(src)
 	dim := ft.Dim
 	sc.pq.push(0, ft.Rects.MinSqDist(0, q))
 	res := Result{}
@@ -122,7 +143,7 @@ func knnPaged(ft *rtree.FlatTree, src LeafSource, q []float64, k int, wantNeighb
 			res.LeafAccesses++
 			start, end := int(ft.PtStart[node]), int(ft.PtStart[node]+ft.PtCount[node])
 			rows := src.LeafRows(start, end, sc.rows)
-			if cap(rows) > cap(sc.rows) {
+			if adopt && cap(rows) > cap(sc.rows) {
 				sc.rows = rows
 			}
 			for i, r := 0, start; r < end; i, r = i+1, r+1 {
@@ -170,6 +191,7 @@ func RangeSearchPaged(ft *rtree.FlatTree, src LeafSource, s Sphere) (points int,
 	r2 := s.Radius * s.Radius
 	sc := flatPool.Get().(*flatScratch)
 	defer flatPool.Put(sc)
+	adopt := !isZeroCopy(src)
 	dim := ft.Dim
 	stack := sc.stack[:0]
 	if ft.Rects.MinSqDist(0, s.Center) <= r2 {
@@ -183,7 +205,7 @@ func RangeSearchPaged(ft *rtree.FlatTree, src LeafSource, s Sphere) (points int,
 			res.LeafAccesses++
 			start, end := int(ft.PtStart[node]), int(ft.PtStart[node]+ft.PtCount[node])
 			rows := src.LeafRows(start, end, sc.rows)
-			if cap(rows) > cap(sc.rows) {
+			if adopt && cap(rows) > cap(sc.rows) {
 				sc.rows = rows
 			}
 			for i, r := 0, start; r < end; i, r = i+1, r+1 {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"hdidx/internal/rtree"
 )
@@ -280,21 +281,71 @@ func benchmarkKNNPrefilter(b *testing.B, dim, bits int) {
 		visited += res.PrefilterVisited
 		skipped += res.PrefilterSkipped
 	}
+	b.StopTimer() // the paired measurement below must not bill this cell
 	pct := 0.0
 	if visited > 0 {
 		pct = 100 * float64(skipped) / float64(visited)
 	}
 	b.ReportMetric(pct, "avoided_%")
+	if ft.Calibration != nil {
+		// ResetTimer clears reported metrics, so the auto-calibrated
+		// width is reported here, after the timed loop.
+		b.ReportMetric(float64(ft.Calibration.Chosen), "auto_bits")
+		b.ReportMetric(pairedSpeedupVsB0(tr, ft, queries), "paired_vs_b0")
+	}
 }
 
+// pairedSpeedupVsB0 measures the auto-tuned tree against the plain
+// flatten of the same tree back to back in the same process — a
+// paired comparison, because on a noisy host the ratio of two
+// *separately benchmarked* cells can swing ±5% either way, burying
+// the effect being recorded. When calibration declined every
+// candidate the auto tree runs the identical unfiltered search, and
+// the speedup is 1 by construction.
+func pairedSpeedupVsB0(tr *rtree.Tree, auto *rtree.FlatTree, queries [][]float64) float64 {
+	if auto.PrefilterBits == 0 {
+		return 1.0
+	}
+	plain := tr.Flatten()
+	timeTree := func(ft *rtree.FlatTree) time.Duration {
+		start := time.Now()
+		for _, q := range queries {
+			res := KNNSearchFlat(ft, q, 21)
+			benchSink += res.LeafAccesses
+		}
+		return time.Since(start)
+	}
+	var plainBest, autoBest time.Duration
+	for round := 0; round < 3; round++ {
+		if p := timeTree(plain); round == 0 || p < plainBest {
+			plainBest = p
+		}
+		if a := timeTree(auto); round == 0 || a < autoBest {
+			autoBest = a
+		}
+	}
+	return float64(plainBest) / float64(autoBest)
+}
+
+// benchSink defeats dead-code elimination of the paired timing.
+var benchSink int
+
 // BenchmarkKNNPrefilter sweeps the prefilter widths of the acceptance
-// criteria at both reference dimensionalities; scripts/bench.sh
-// writes the results to BENCH_prefilter.json.
+// criteria at both reference dimensionalities, plus the auto-calibrated
+// width (flatten measures candidate widths on a sample and keeps the
+// winner, or no prefilter when none wins); scripts/bench.sh writes the
+// results to BENCH_prefilter.json. The "bauto" cells share the b0
+// baseline, so their speedups_vs_b0 entries record whether calibration
+// chose well — auto should never land below 1.0 beyond noise.
 func BenchmarkKNNPrefilter(b *testing.B) {
 	for _, dim := range []int{16, 60} {
-		for _, bits := range []int{0, 4, 6, 8} {
+		for _, bits := range []int{0, 4, 6, 8, rtree.PrefilterAuto} {
 			dim, bits := dim, bits
-			b.Run(fmt.Sprintf("d%d/b%d", dim, bits), func(b *testing.B) {
+			label := fmt.Sprintf("d%d/b%d", dim, bits)
+			if bits == rtree.PrefilterAuto {
+				label = fmt.Sprintf("d%d/bauto", dim)
+			}
+			b.Run(label, func(b *testing.B) {
 				benchmarkKNNPrefilter(b, dim, bits)
 			})
 		}

@@ -1,0 +1,131 @@
+package rtree
+
+// Flatten-time auto-tuning of the quantized scan prefilter.
+//
+// The prefilter's worth depends on the data: per-dimension code width
+// trades bound tightness (more avoided exact evaluations) against the
+// fixed per-leaf cost of the LUT build and the bound kernel, and at
+// high dimensionality a wide code array can cost more to stream than
+// the exact evaluations it saves (the measured b8/d60 regression that
+// motivated this tuner). FlattenOptions.PrefilterBits = PrefilterAuto
+// resolves the width empirically at flatten time: a registered
+// calibrator times real searches over the freshly flattened tree —
+// unfiltered, then with the prefilter built at each candidate width —
+// and the flatten keeps the fastest width, or no prefilter at all
+// when none beats the unfiltered search by a margin. Timing whole
+// searches (not just leaf scans) is what keeps the decision honest:
+// the bound scan can win its component 1.3× while the end-to-end
+// query loses, because directory traversal and early-exiting exact
+// evaluations dominate at low dimensionality.
+//
+// The calibrator lives in internal/query (it reuses the search
+// kernels) and registers itself through SetPrefilterCalibrator from an
+// init function — the hook inverts what would otherwise be an
+// rtree → query import cycle. Code that flattens without importing the
+// query package falls back to a fixed mid-width heuristic.
+
+// PrefilterAuto is the FlattenOptions.PrefilterBits sentinel that
+// requests flatten-time calibration of the prefilter width.
+const PrefilterAuto = -1
+
+// autoTuneCandidates are the widths calibration considers. The list
+// tops out at 6 bits by construction: 8-bit codes at high
+// dimensionality stream more bytes than the exact evaluations they
+// avoid are worth.
+var autoTuneCandidates = []int{2, 4, 6}
+
+// autoTuneMinPoints is the tree size below which calibration is
+// skipped entirely: leaf scans over so few points cost less than the
+// code array's build.
+const autoTuneMinPoints = 256
+
+// PrefilterCandidate is one width's measurement during calibration.
+type PrefilterCandidate struct {
+	// Bits is the candidate width.
+	Bits int
+	// AvoidedFrac is the fraction of bound-scanned leaf rows whose
+	// exact evaluation the quantized lower bound avoided.
+	AvoidedFrac float64
+	// NsPerQuery is the measured end-to-end search cost with the
+	// prefilter built at this width.
+	NsPerQuery float64
+	// Speedup is the unfiltered search cost divided by NsPerQuery.
+	Speedup float64
+}
+
+// PrefilterCalibration records an auto-tune decision: what was
+// measured and which width won. It is flatten-time metadata — the
+// persistence layer serializes only the chosen width and its code
+// arrays, so a snapshot loaded from disk carries no Calibration.
+type PrefilterCalibration struct {
+	// SampleRows and Queries describe the measurement: Queries real
+	// searches were timed over the tree's SampleRows packed points.
+	// Both are zero when no measurement ran (heuristic or skip).
+	SampleRows int
+	Queries    int
+	// ExactNs is the unfiltered end-to-end search baseline per query.
+	ExactNs float64
+	// Candidates holds one measurement per considered width.
+	Candidates []PrefilterCandidate
+	// Chosen is the width the flatten adopted; 0 means no prefilter.
+	Chosen int
+	// Reason states the decision in words.
+	Reason string
+}
+
+// BuildPrefilter quantizes the tree's points into bits-per-dimension
+// codes, replacing any existing prefilter arrays. The calibrator uses
+// it to try candidate widths on the real tree; FlattenWith callers
+// pass FlattenOptions.PrefilterBits instead.
+func (f *FlatTree) BuildPrefilter(bits int) { f.buildPrefilter(bits) }
+
+// StripPrefilter removes the prefilter arrays, returning the tree to
+// the unfiltered search path.
+func (f *FlatTree) StripPrefilter() {
+	f.PrefilterBits = 0
+	f.Codes = nil
+	f.Marks = nil
+}
+
+// prefilterCalibrator times real searches over ft at the candidate
+// widths and returns the decision, leaving ft carrying the chosen
+// prefilter (or none). Registered by internal/query's init; nil when
+// that package is not linked in.
+var prefilterCalibrator func(ft *FlatTree, candidates []int) PrefilterCalibration
+
+// SetPrefilterCalibrator registers the measured calibrator
+// PrefilterAuto flattens use. internal/query calls it from an init
+// function; other callers have no reason to.
+func SetPrefilterCalibrator(fn func(ft *FlatTree, candidates []int) PrefilterCalibration) {
+	prefilterCalibrator = fn
+}
+
+// autoTunePrefilter resolves PrefilterAuto for the freshly flattened
+// tree: it records the calibration decision in f.Calibration and
+// builds the winning prefilter (if any) at full width over all points.
+func (f *FlatTree) autoTunePrefilter() {
+	if f.NumPoints < autoTuneMinPoints {
+		f.Calibration = &PrefilterCalibration{
+			Reason: "tree smaller than the calibration floor; leaf scans too cheap to filter",
+		}
+		return
+	}
+	if prefilterCalibrator == nil {
+		f.Calibration = &PrefilterCalibration{
+			Chosen: 4,
+			Reason: "no calibrator registered (query package not linked); fixed mid-width heuristic",
+		}
+		f.buildPrefilter(4)
+		return
+	}
+	cal := prefilterCalibrator(f, autoTuneCandidates)
+	f.Calibration = &cal
+	// The calibrator leaves the tree carrying its decision; normalize
+	// defensively in case a registered calibrator does not.
+	switch {
+	case cal.Chosen > 0 && f.PrefilterBits != cal.Chosen:
+		f.buildPrefilter(cal.Chosen)
+	case cal.Chosen == 0 && f.PrefilterBits != 0:
+		f.StripPrefilter()
+	}
+}

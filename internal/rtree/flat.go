@@ -71,6 +71,10 @@ type FlatTree struct {
 	// Marks[d*(2^PrefilterBits+1):(d+1)*(2^PrefilterBits+1)]
 	// (MarksFor slices them out).
 	Marks []float64
+	// Calibration records the auto-tune decision when the tree was
+	// flattened with PrefilterBits = PrefilterAuto (nil otherwise).
+	// It is flatten-time metadata only — never serialized.
+	Calibration *PrefilterCalibration
 
 	leafRects *mbr.RectSet // view of the leaf tail of Rects
 }
@@ -79,9 +83,11 @@ type FlatTree struct {
 type FlattenOptions struct {
 	// PrefilterBits enables the quantized scan prefilter with that
 	// many bits per dimension (1–8; codes are single bytes). 0 — the
-	// zero value — flattens without a prefilter. Values outside
-	// [0, 8] panic: the facade and the serving layer validate user
-	// input before it reaches here.
+	// zero value — flattens without a prefilter. PrefilterAuto (-1)
+	// calibrates the width empirically at flatten time (see
+	// autotune.go); the decision lands in FlatTree.Calibration. Other
+	// values outside [0, 8] panic: the facade and the serving layer
+	// validate user input before it reaches here.
 	PrefilterBits int
 }
 
@@ -97,8 +103,8 @@ func (t *Tree) Flatten() *FlatTree {
 // FlattenWith is Flatten with options; FlattenOptions{} reproduces
 // Flatten exactly.
 func (t *Tree) FlattenWith(o FlattenOptions) *FlatTree {
-	if o.PrefilterBits < 0 || o.PrefilterBits > 8 {
-		panic(fmt.Sprintf("rtree: prefilter bits %d outside [0, 8]", o.PrefilterBits))
+	if (o.PrefilterBits < 0 && o.PrefilterBits != PrefilterAuto) || o.PrefilterBits > 8 {
+		panic(fmt.Sprintf("rtree: prefilter bits %d outside [0, 8] and not PrefilterAuto", o.PrefilterBits))
 	}
 	t.refresh()
 	if t.Root == nil {
@@ -142,7 +148,10 @@ func (t *Tree) FlattenWith(o FlattenOptions) *FlatTree {
 	}
 	f.Rects = mbr.NewRectSet(rects)
 	f.leafRects = f.Rects.Slice(n-f.NumLeaves, f.NumLeaves)
-	if o.PrefilterBits > 0 && f.NumPoints > 0 {
+	switch {
+	case o.PrefilterBits == PrefilterAuto && f.NumPoints > 0:
+		f.autoTunePrefilter()
+	case o.PrefilterBits > 0 && f.NumPoints > 0:
 		f.buildPrefilter(o.PrefilterBits)
 	}
 	return f

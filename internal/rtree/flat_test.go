@@ -207,7 +207,8 @@ func TestFlattenPrefilterOffAndInvalid(t *testing.T) {
 	if f.PrefilterBits != 0 || f.Codes != nil || f.Marks != nil {
 		t.Fatalf("bits=0 flatten built a prefilter: %d bits, %d codes", f.PrefilterBits, len(f.Codes))
 	}
-	for _, bits := range []int{-1, 9, 16} {
+	// -1 is PrefilterAuto, so the first invalid negative is -2.
+	for _, bits := range []int{-2, 9, 16} {
 		func() {
 			defer func() {
 				if recover() == nil {

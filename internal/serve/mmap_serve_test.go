@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hdidx/internal/pager"
+	"hdidx/internal/rtree"
+)
+
+// TestMmapServeHammer is the concurrency proof of mmap-backed serving:
+// readers hammer k-NN, range, and stats across well over 100 snapshot
+// generations — republished continuously by a writer, with a full
+// close-and-recover from the durable file in the middle — while every
+// superseded generation's mapping is unmapped as its last pin drains.
+// Run under -race, any unmap racing a pinned reader is a read of freed
+// (unmapped) memory the detector or a SIGSEGV would surface.
+//
+// The NaN poison makes the zero-copy claim falsifiable: a publish hook
+// poisons every resident flattened tree *after* its bytes are written
+// and mapped, so the only clean copy of the points is the file
+// mapping. A single NaN coordinate in any served neighbor would prove
+// a row was read from the resident tree instead of the map.
+func TestMmapServeHammer(t *testing.T) {
+	if !pager.MmapSupported() {
+		t.Skip("mmap backend unavailable on this platform")
+	}
+	if testing.Short() {
+		t.Skip("hammer test")
+	}
+	const (
+		dim          = 6
+		flattenEvery = 16
+		genTarget    = 60 // per phase; two phases >= 120 generations
+		readers      = 4
+	)
+	path := filepath.Join(t.TempDir(), "hammer.hdsn")
+
+	var poisoned atomic.Int64
+	publishHook = func(resident *rtree.FlatTree, sn *snapshot) {
+		if sn.pg == nil {
+			return // resident generation: poisoning it would serve NaNs
+		}
+		for i := range resident.Points.Data {
+			resident.Points.Data[i] = math.NaN()
+		}
+		poisoned.Add(1)
+	}
+	t.Cleanup(func() { publishHook = nil })
+
+	initial := uniform(400, dim, 1)
+	cfg := Config{
+		FlattenEvery: flattenEvery,
+		SnapshotPath: path,
+		Backend:      pager.BackendMmap,
+	}
+	srv, err := New(initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Stats().Mapped {
+		t.Fatal("first generation not mmap-backed")
+	}
+
+	// hammer runs readers against srv while the writer republishes
+	// until the generation counter passes target, then verifies every
+	// result stayed NaN-free.
+	hammer := func(srv *Server, target int64) {
+		t.Helper()
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		fail := make(chan string, readers+1)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				qs := uniform(64, dim, seed)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					q := qs[i%len(qs)]
+					res, err := srv.KNN(q, 5)
+					if err != nil {
+						fail <- "knn: " + err.Error()
+						return
+					}
+					for _, nb := range res.Neighbors {
+						for _, v := range nb {
+							if math.IsNaN(v) {
+								fail <- "NaN neighbor: row served from the poisoned resident tree, not the map"
+								return
+							}
+						}
+					}
+					if _, _, err := srv.RangeCount(q, 0.2); err != nil {
+						fail <- "range: " + err.Error()
+						return
+					}
+					if i%16 == 0 {
+						srv.Stats()
+					}
+				}
+			}(int64(100 + r))
+		}
+		pts := uniform(int(target)*flattenEvery+flattenEvery, dim, 7)
+		for _, p := range pts {
+			if err := srv.Insert(p); err != nil {
+				fail <- "insert: " + err.Error()
+				break
+			}
+			if srv.Generation() >= target {
+				break
+			}
+		}
+		close(stop)
+		wg.Wait()
+		select {
+		case msg := <-fail:
+			t.Fatal(msg)
+		default:
+		}
+	}
+
+	hammer(srv, genTarget)
+	st := srv.Stats()
+	if !st.Mapped {
+		t.Fatal("mid-run generation not mmap-backed")
+	}
+	if st.Generation < genTarget {
+		t.Fatalf("only %d generations published, want >= %d", st.Generation, genTarget)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats(); got.RetiredSnapshots != got.Generation-1 {
+		t.Fatalf("%d generations but %d retired after quiesce; unmap lifecycle leaked",
+			got.Generation, got.RetiredSnapshots)
+	}
+
+	// Recovery: a fresh server resumes from the durable file — which
+	// was written before its resident twin was poisoned, so recovered
+	// points must be clean — and survives the same hammer again.
+	srv2, err := New(nil, cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if srv2.Len() < len(initial) {
+		t.Fatalf("recovered %d points, want >= %d", srv2.Len(), len(initial))
+	}
+	hammer(srv2, genTarget)
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if poisoned.Load() == 0 {
+		t.Fatal("publish hook never poisoned a mapped generation; the NaN proof proved nothing")
+	}
+}
+
+// TestMmapServeForcedFailureSurfaces checks the forced-mmap error
+// contract: when the backend is explicitly BackendMmap and the map
+// cannot be established, publication reports the error while queries
+// keep working against the resident tree. (Auto would fall back
+// silently; forced must not.) Platforms without mmap exercise exactly
+// this path through serve.New.
+func TestMmapServeForcedFailureSurfaces(t *testing.T) {
+	if pager.MmapSupported() {
+		t.Skip("mmap works here; the failure path needs a platform without it")
+	}
+	srv, err := New(uniform(300, 4, 3), Config{
+		SnapshotPath: filepath.Join(t.TempDir(), "s.hdsn"),
+		Backend:      pager.BackendMmap,
+	})
+	if err == nil {
+		defer srv.Close()
+		t.Fatal("forced mmap on an unsupported platform did not surface an error")
+	}
+}
+
+// TestServeBackendReadAtStaysResident checks that forcing BackendReadAt
+// serves resident snapshots even where mmap is available.
+func TestServeBackendReadAtStaysResident(t *testing.T) {
+	srv, err := New(uniform(300, 4, 3), Config{
+		SnapshotPath: filepath.Join(t.TempDir(), "s.hdsn"),
+		Backend:      pager.BackendReadAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Stats().Mapped {
+		t.Fatal("BackendReadAt produced a mapped snapshot")
+	}
+}

@@ -103,6 +103,19 @@ type Config struct {
 	// (generation numbers themselves are per-process). Empty (the
 	// default) serves purely in memory.
 	SnapshotPath string
+	// Backend selects how durably published generations are served when
+	// SnapshotPath is set. pager.BackendMmap reopens each published file
+	// read-only via mmap and serves queries zero-copy straight from the
+	// mapping (directory arrays included); the mapping is unmapped
+	// exactly once, when the superseded generation's last pin drains.
+	// pager.BackendAuto (the default) does the same where the platform
+	// supports it and otherwise serves the resident flattened tree;
+	// pager.BackendReadAt forces the resident tree. With an explicit
+	// BackendMmap a failed map surfaces as a publication error (the
+	// resident generation still serves); with Auto the fallback is
+	// silent. Ignored when SnapshotPath is empty — there is no file to
+	// map.
+	Backend pager.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -122,10 +135,17 @@ func (c Config) withDefaults() Config {
 }
 
 // snapshot is one published epoch: an immutable flat tree plus the
-// pin accounting that decides when it may retire.
+// pin accounting that decides when it may retire. When pg is non-nil
+// the tree's arrays are zero-copy views into pg's read-only file
+// mapping; retirement closes pg (unmapping exactly once, after the
+// last pin drained — a pinned reader can therefore never touch
+// unmapped memory). The final generation is never superseded, so its
+// mapping intentionally lives until process exit: Stats, Len, and
+// Generation stay readable after Close.
 type snapshot struct {
 	ft  *rtree.FlatTree
 	gen int64
+	pg  *pager.Snapshot
 
 	pins       atomic.Int64
 	superseded atomic.Bool
@@ -179,6 +199,10 @@ type Server struct {
 	closed atomic.Bool
 
 	snapPageBytes int
+	// mmapServe records the Config.Backend resolution made at New:
+	// publications reopen the written snapshot file via mmap and serve
+	// from the mapping. Always false when SnapshotPath is empty.
+	mmapServe bool
 
 	gens      atomic.Int64
 	retires   atomic.Int64
@@ -257,8 +281,11 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 		}
 		g = derived
 	}
-	if cfg.PrefilterBits < 0 || cfg.PrefilterBits > 8 {
-		return nil, fmt.Errorf("serve: prefilter bits %d outside [0, 8]", cfg.PrefilterBits)
+	if (cfg.PrefilterBits < 0 && cfg.PrefilterBits != rtree.PrefilterAuto) || cfg.PrefilterBits > 8 {
+		return nil, fmt.Errorf("serve: prefilter bits %d outside [0, 8] and not PrefilterAuto", cfg.PrefilterBits)
+	}
+	if cfg.Backend < pager.BackendAuto || cfg.Backend > pager.BackendMmap {
+		return nil, fmt.Errorf("serve: unknown pager backend %d", cfg.Backend)
 	}
 	if cfg.QueueTimeout < 0 {
 		return nil, fmt.Errorf("serve: negative queue timeout %v", cfg.QueueTimeout)
@@ -278,6 +305,8 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 		knnLat:        obs.NewLatencySketch(cfg.SketchSize),
 		rangeLat:      obs.NewLatencySketch(cfg.SketchSize),
 	}
+	s.mmapServe = cfg.SnapshotPath != "" &&
+		pager.ResolveBackend(cfg.Backend) == pager.BackendMmap
 	if recovered != nil && recovered.NumPoints > 0 {
 		if recovered.Dim != s.dim {
 			return nil, fmt.Errorf("serve: recovered snapshot dimension %d, configured %d", recovered.Dim, s.dim)
@@ -327,17 +356,54 @@ func (s *Server) acquire() *snapshot {
 	}
 }
 
-// publishLocked flattens the dynamic tree into a fresh snapshot, swaps
-// it in, and — when Config.SnapshotPath is set — writes it durably.
-// Caller holds s.mu. A durability error is returned after the
-// in-memory swap: the new generation is live for queries, but the
-// on-disk state still holds the previous one.
+// publishHook, when non-nil, observes every publication just before
+// the swap, with the resident flattened tree and the snapshot about to
+// go live. Tests use it to poison the resident arrays of an
+// mmap-backed generation, proving served rows come from the mapping.
+var publishHook func(resident *rtree.FlatTree, sn *snapshot)
+
+// publishLocked flattens the dynamic tree into a fresh snapshot,
+// writes it durably when Config.SnapshotPath is set, and swaps it in.
+// Caller holds s.mu.
+//
+// On the mmap serving path the durable write happens before the swap:
+// the published file is reopened read-only via mmap and the snapshot
+// serves the mapped tree, so the bytes must be on disk first. A
+// durability (or forced-mmap) error is still returned after the
+// in-memory swap of the resident tree — the new generation is live
+// for queries, but the on-disk state holds the previous one (or the
+// new one unmapped, for a forced-mmap failure).
 func (s *Server) publishLocked() error {
 	ft := s.dyn.FlattenWith(rtree.FlattenOptions{PrefilterBits: s.cfg.PrefilterBits})
 	sn := &snapshot{
-		ft:       ft,
-		gen:      s.gens.Add(1),
-		onRetire: func(*snapshot) { s.retires.Add(1) },
+		ft:  ft,
+		gen: s.gens.Add(1),
+	}
+	sn.onRetire = func(dead *snapshot) {
+		s.retires.Add(1)
+		if dead.pg != nil {
+			dead.pg.Close() // unmap: the last pin has drained
+		}
+	}
+	var pubErr error
+	if s.cfg.SnapshotPath != "" {
+		if _, err := pager.WriteFileAtomic(s.cfg.SnapshotPath, ft, s.snapPageBytes); err != nil {
+			pubErr = fmt.Errorf("serve: durable publication of generation %d: %w", sn.gen, err)
+		} else if s.mmapServe {
+			pg, err := pager.OpenWith(s.cfg.SnapshotPath, pager.Options{Backend: pager.BackendMmap})
+			switch {
+			case err == nil:
+				sn.ft = pg.Tree()
+				sn.pg = pg
+			case s.cfg.Backend == pager.BackendMmap:
+				pubErr = fmt.Errorf("serve: mmap publication of generation %d: %w", sn.gen, err)
+			}
+			// Auto resolution: a failed map silently serves the resident
+			// tree — the durable file is intact either way.
+		}
+	}
+	if publishHook != nil {
+		publishHook(ft, sn)
 	}
 	old := s.cur.Swap(sn)
 	s.pending = 0
@@ -345,13 +411,7 @@ func (s *Server) publishLocked() error {
 		old.superseded.Store(true)
 		old.tryRetire()
 	}
-	if s.cfg.SnapshotPath == "" {
-		return nil
-	}
-	if _, err := pager.WriteFileAtomic(s.cfg.SnapshotPath, ft, s.snapPageBytes); err != nil {
-		return fmt.Errorf("serve: durable publication of generation %d: %w", sn.gen, err)
-	}
-	return nil
+	return pubErr
 }
 
 // Insert ingests one point. The point is copied; it becomes visible to
@@ -569,6 +629,10 @@ type Stats struct {
 	// Deadlines counts queries that aged past Config.QueueTimeout on
 	// the admission queue and failed with ErrDeadline.
 	Deadlines int64
+	// Mapped reports whether the current snapshot is served zero-copy
+	// from a read-only file mapping (mmap backend) rather than resident
+	// arrays.
+	Mapped bool
 	// KNN and Range are the latency digests (queue wait plus search).
 	KNN, Range obs.LatencySummary
 }
@@ -582,6 +646,7 @@ func (s *Server) Stats() Stats {
 		RetiredSnapshots: s.retires.Load(),
 		Overloads:        s.overloads.Load(),
 		Deadlines:        s.deadlines.Load(),
+		Mapped:           sn.pg != nil,
 		KNN:              s.knnLat.Summary(),
 		Range:            s.rangeLat.Summary(),
 	}

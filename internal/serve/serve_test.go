@@ -271,11 +271,14 @@ func TestServeConfigValidation(t *testing.T) {
 	if _, err := New(data, Config{PrefilterBits: 9}); err == nil {
 		t.Fatal("PrefilterBits 9 accepted, want error")
 	}
-	if _, err := New(data, Config{PrefilterBits: -1}); err == nil {
-		t.Fatal("PrefilterBits -1 accepted, want error")
+	if _, err := New(data, Config{PrefilterBits: -2}); err == nil {
+		t.Fatal("PrefilterBits -2 accepted, want error (-1 is PrefilterAuto)")
 	}
 	if _, err := New(data, Config{QueueTimeout: -time.Second}); err == nil {
 		t.Fatal("negative QueueTimeout accepted, want error")
+	}
+	if _, err := New(data, Config{Backend: 99}); err == nil {
+		t.Fatal("backend 99 accepted, want error")
 	}
 }
 

@@ -27,17 +27,22 @@
 # quantiles and the sustained throughput.
 #
 # Also runs the quantized-prefilter sweep (BenchmarkKNNPrefilter in
-# internal/query, bits 0/4/6/8 at d=16 and d=60) and writes
-# BENCH_prefilter.json with the best ns/op, the fraction of exact
-# evaluations avoided, and the speedup of each width over the
-# unfiltered b0 baseline.
+# internal/query, bits 0/4/6/8 plus the auto-calibrated width at d=16
+# and d=60) and writes BENCH_prefilter.json with the best ns/op, the
+# fraction of exact evaluations avoided, the width auto-calibration
+# chose, and the speedup of each width over the unfiltered b0
+# baseline.
 #
 # Also runs the persistence benchmark (BenchmarkPager at the root:
 # indexes saved to real page-aligned snapshot files, the k-NN workload
 # replayed through the pager read path) and writes BENCH_pager.json
 # with the predicted and measured leaf accesses, the real pages read
 # per query of each (dataset, page size) cell, and the count of cells
-# whose paged results matched the in-memory search bit for bit.
+# whose paged results matched the in-memory search bit for bit. The
+# same file records the backend head-to-head (BenchmarkPagerBackends:
+# one paged k-NN per op against the same snapshot through ReadAt and,
+# where supported, zero-copy mmap) — best ns/op and pages/query of
+# each backend plus the readat/mmap speedup.
 #
 # Every BENCH_*.json records host_cpus (the machine's CPU count) and
 # gomaxprocs (the GOMAXPROCS the benchmarks actually ran at, taken
@@ -278,9 +283,17 @@ echo "$preraw" | awk -v out="$PREOUT" -v count="$COUNT" -v benchtime="$BENCHTIME
 	sub(/^BenchmarkKNNPrefilter\//, "", name)
 	ns = $3 + 0
 	if (!(name in best) || ns < best[name]) best[name] = ns
-	# the custom metric column: "<value> avoided_%"
+	# custom metric columns: "<value> avoided_%", "<value> auto_bits",
+	# "<value> paired_vs_b0" (bauto cells: the back-to-back speedup
+	# over the plain flatten of the same tree — kept as the best of
+	# the -count runs, like ns/op)
 	for (i = 4; i < NF; i++) {
 		if ($(i + 1) == "avoided_%") avoided[name] = $i + 0
+		if ($(i + 1) == "auto_bits") { autobits[name] = $i + 0; hasauto[name] = 1 }
+		if ($(i + 1) == "paired_vs_b0") {
+			v = $i + 0
+			if (!(name in paired) || v > paired[name]) paired[name] = v
+		}
 	}
 	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
@@ -294,12 +307,17 @@ END {
 	printf "  \"sweeps\": {\n" > out
 	for (i = 1; i <= n; i++) {
 		name = order[i]
-		printf "    \"%s\": {\"best_ns_per_op\": %.0f, \"avoided_pct\": %.2f}%s\n", \
-			name, best[name], avoided[name], (i < n ? "," : "") > out
+		extra = ""
+		if (name in hasauto) extra = sprintf(", \"chosen_bits\": %d", autobits[name])
+		printf "    \"%s\": {\"best_ns_per_op\": %.0f, \"avoided_pct\": %.2f%s}%s\n", \
+			name, best[name], avoided[name], extra, (i < n ? "," : "") > out
 	}
 	printf "  },\n" > out
 	# Speedup of each prefilter width over the unfiltered b0 baseline
 	# of the same dimensionality (>1 means the prefilter paid off).
+	# The bauto cells use their paired measurement (same tree, back to
+	# back) instead of the cross-cell ratio, which on a noisy host can
+	# swing ±5% — more than the effect being recorded.
 	printf "  \"speedups_vs_b0\": {\n" > out
 	m = split("d16 d60", dims, " ")
 	first = 1
@@ -310,9 +328,11 @@ END {
 		for (j = 1; j <= n; j++) {
 			name = order[j]
 			if (index(name, d "/b") != 1 || name == d "/b0") continue
+			sp = base / best[order[j]]
+			if (order[j] in paired) sp = paired[order[j]]
 			if (!first) printf ",\n" > out
 			sub("/", "_", name)
-			printf "    \"%s\": %.2f", name, base / best[order[j]] > out
+			printf "    \"%s\": %.2f", name, sp > out
 			first = 0
 		}
 	}
@@ -322,10 +342,25 @@ END {
 echo "wrote $PREOUT:"
 cat "$PREOUT"
 
-pagerraw="$(go test -run='^$' -bench='^BenchmarkPager$' -benchtime="$BENCHTIME" -count="$COUNT" .)"
+pagerraw="$(go test -run='^$' -bench='^BenchmarkPager(Backends)?$' -benchtime="$BENCHTIME" -count="$COUNT" .)"
 echo "$pagerraw"
 
 echo "$pagerraw" | awk -v out="$PAGEROUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
+/^BenchmarkPagerBackends\// {
+	# The backend head-to-head: per-query ns/op and pages/query of the
+	# same snapshot read through ReadAt vs zero-copy mmap.
+	name = $1
+	if (match(name, /-[0-9]+$/)) gm = substr(name, RSTART + 1, RLENGTH - 1)
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkPagerBackends\//, "", name)
+	ns = $3 + 0
+	if (!(name in bbest) || ns < bbest[name]) bbest[name] = ns
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "pages/query") bpages[name] = $i + 0
+	}
+	if (!(name in bseen)) { border[++bn] = name; bseen[name] = 1 }
+	next
+}
 /^BenchmarkPager/ {
 	if (match($1, /-[0-9]+$/)) gm = substr($1, RSTART + 1, RLENGTH - 1)
 	# custom metric columns come as "<value> <unit>" pairs; the run is
@@ -348,7 +383,19 @@ END {
 	for (i = 1; i <= n; i++) {
 		printf "    \"%s\": %.2f%s\n", order[i], m[order[i]], (i < n ? "," : "") > out
 	}
-	printf "  }\n}\n" > out
+	printf "  },\n" > out
+	# ReadAt recharges every page touch; mmap counts faults (first
+	# touches), so its pages/query reads lower by design.
+	printf "  \"backends\": {\n" > out
+	for (i = 1; i <= bn; i++) {
+		name = border[i]
+		printf "    \"%s\": {\"best_ns_per_op\": %.0f, \"pages_per_query\": %.2f}%s\n", \
+			name, bbest[name], bpages[name], (i < bn ? "," : "") > out
+	}
+	printf "  }" > out
+	if (bbest["readat"] > 0 && bbest["mmap"] > 0)
+		printf ",\n  \"mmap_speedup_over_readat\": %.2f", bbest["readat"] / bbest["mmap"] > out
+	printf "\n}\n" > out
 }'
 
 echo "wrote $PAGEROUT:"

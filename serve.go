@@ -55,6 +55,14 @@ type ServeConfig struct {
 	// See Index.Save / Open for the file format. Empty (the default)
 	// serves purely in memory.
 	SnapshotPath string
+	// Backend selects how durably published generations are served
+	// when SnapshotPath is set: BackendMmap reopens each published
+	// file and serves queries zero-copy from its read-only mapping
+	// (unmapped when the generation's last reader drains); BackendAuto
+	// (the default) does so where the platform supports it and serves
+	// the resident tree otherwise; BackendReadAt forces the resident
+	// tree. Ignored without a SnapshotPath.
+	Backend Backend
 }
 
 // Server is a concurrent serving handle over an index: any number of
@@ -93,6 +101,7 @@ func NewServer(points [][]float64, scfg ServeConfig, opts ...Option) (*Server, e
 		QueueTimeout:  scfg.QueueTimeout,
 		PrefilterBits: c.prefilterBits,
 		SnapshotPath:  scfg.SnapshotPath,
+		Backend:       scfg.Backend,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +176,9 @@ type ServerStats struct {
 	// Deadlines counts queries that aged past ServeConfig.QueueTimeout
 	// on the admission queue and failed with ErrDeadline.
 	Deadlines int64
+	// Mapped reports whether the current snapshot is served zero-copy
+	// from a read-only file mapping (ServeConfig.Backend).
+	Mapped bool
 	// KNN and Range are the per-query latency digests.
 	KNN, Range LatencyStats
 }
@@ -183,6 +195,7 @@ func (s *Server) Stats() ServerStats {
 		RetiredSnapshots: st.RetiredSnapshots,
 		Overloads:        st.Overloads,
 		Deadlines:        st.Deadlines,
+		Mapped:           st.Mapped,
 		KNN:              conv(st.KNN),
 		Range:            conv(st.Range),
 	}
