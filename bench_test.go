@@ -527,6 +527,40 @@ func BenchmarkServe(b *testing.B) {
 	}
 }
 
+// BenchmarkServeShards sweeps the serving shard count: the same mixed
+// read/write workload at S=1, 4, and 8, reporting the steady-state
+// per-publication flatten time and durable bytes — the costs
+// dirty-shard-only republication divides by S — alongside the k-NN
+// latency quantiles. scripts/bench.sh records the sweep in
+// BENCH_serve.json and derives the S=8 vs S=1 reduction ratios.
+func BenchmarkServeShards(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("s%d", shards), func(b *testing.B) {
+			opt := experiments.Options{
+				Scale: 0.05, Queries: 250, K: 21, Seed: 1,
+				Shards: shards, FlattenEvery: 16,
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Serve(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Log("\n" + res.String())
+					b.ReportMetric(float64(res.FlattenPerGen.Microseconds())/1000, "flatten_ms_gen")
+					b.ReportMetric(float64(res.BytesPerGen)/1024, "kb_gen")
+					b.ReportMetric(float64(res.KNN.P50.Microseconds()), "p50_us")
+					b.ReportMetric(float64(res.KNN.P95.Microseconds()), "p95_us")
+					b.ReportMetric(float64(res.KNN.P99.Microseconds()), "p99_us")
+					b.ReportMetric(float64(res.Generations), "generations")
+					b.ReportMetric(res.Throughput, "queries/s")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPager runs the persistence extension: indexes saved to real
 // page-aligned snapshot files and the k-NN workload replayed through
 // the pager's ReadAt path, reporting the predictor's leaf accesses

@@ -31,6 +31,7 @@ func main() {
 		bufPages   = flag.Int("buffer-pages", 0, "buffer-pool page budget for the simulated disk (0 = uncached; carved out of -m)")
 		pageBytes  = flag.Int("page", 8192, "index page size in bytes")
 		preBits    = flag.Int("prefilter-bits", 0, "quantized scan prefilter width of the modeled index (0 = off, max 8, -1 = auto-calibrated at build time; never changes predicted accesses, accepted for config parity with serving deployments)")
+		shards     = flag.Int("shards", 1, "serving shard count of the modeled deployment (>= 1; never changes predicted accesses — sharded queries are bit-identical — accepted for config parity with serving deployments)")
 		backendStr = flag.String("backend", "auto", "snapshot read backend for -load: auto, readat, or mmap (zero-copy)")
 		radius     = flag.Float64("range", 0, "range-query radius (0 = k-NN workload)")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -46,6 +47,10 @@ func main() {
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "idxpredict: -data is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "idxpredict: -shards must be >= 1")
 		os.Exit(2)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)

@@ -115,3 +115,67 @@ func TestServerFacade(t *testing.T) {
 		t.Fatalf("KNN after close: %v", err)
 	}
 }
+
+// TestServerFacadeSharded drives a sharded server through the facade
+// and checks bit-identity against an unsharded one, plus the per-shard
+// stats surface.
+func TestServerFacadeSharded(t *testing.T) {
+	pts := clusteredPoints(t, 0.01, 11)
+	single, err := NewServer(pts, ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	s, err := NewServer(pts, ServeConfig{Shards: 4, FlattenEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for qi := 0; qi < 5; qi++ {
+		q := pts[qi*7]
+		wantN, wantSt, err := single.KNN(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, gotSt, err := s.KNN(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSt.Radius != wantSt.Radius || !reflect.DeepEqual(gotN, wantN) {
+			t.Fatalf("sharded facade answer diverges from unsharded for query %d", qi)
+		}
+		wantC, err := single.RangeCount(q, wantSt.Radius*(1+1e-12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC, err := s.RangeCount(q, wantSt.Radius*(1+1e-12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotC != wantC {
+			t.Fatalf("sharded range count %d != unsharded %d", gotC, wantC)
+		}
+	}
+
+	st := s.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("%d shard stats, want 4", len(st.Shards))
+	}
+	total := 0
+	for i, sh := range st.Shards {
+		if sh.Publications < 1 {
+			t.Fatalf("shard %d reports %d publications", i, sh.Publications)
+		}
+		total += sh.Points
+	}
+	if total != len(pts) || st.Points != len(pts) {
+		t.Fatalf("shard points sum %d, stats %d, want %d", total, st.Points, len(pts))
+	}
+	if st.Publications < 4 || st.FlattenTime <= 0 {
+		t.Fatalf("publication accounting: %+v", st)
+	}
+	if _, err := NewServer(pts, ServeConfig{Shards: 100}); err == nil {
+		t.Fatal("shard count above the maximum accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"hdidx/internal/dataset"
+)
+
+// TestMeasuredKNNBatchedIdentity pins the ROADMAP 5a wiring: routing
+// the measured k-NN pass through the grouped batch driver must leave
+// the on-disk experiment's page-access charges bit-identical — the
+// batch driver shares traversals but recomputes exact per-query
+// counts.
+func TestMeasuredKNNBatchedIdentity(t *testing.T) {
+	opt := Options{Scale: 0.02, Queries: 60, K: 7, Seed: 3}
+	env := newEnvironment(dataset.Color64, opt)
+
+	envBatched := *env
+	envBatched.opt.BatchedKNN = true
+
+	build1, q1 := env.measureOnDiskIO()
+	build2, q2 := envBatched.measureOnDiskIO()
+	if build1 != build2 {
+		t.Fatalf("build counters moved with the batched flag: %+v vs %+v", build1, build2)
+	}
+	if q1 != q2 {
+		t.Fatalf("query charges diverge between drivers: %+v vs %+v", q1, q2)
+	}
+	if q1.Seeks == 0 || q1.Transfers == 0 {
+		t.Fatal("zero query charges; identity proved nothing")
+	}
+}

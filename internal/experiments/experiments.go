@@ -54,6 +54,20 @@ type Options struct {
 	// snapshots are read back (pager.BackendAuto/ReadAt/Mmap). The
 	// pager experiment always measures both backends and ignores it.
 	Backend pager.Backend
+	// Shards is the serving experiment's shard count (default 1): the
+	// server republishes only the dirty shard when it fills, and
+	// queries scatter-gather across shards with bit-identical results.
+	// Other experiments ignore it.
+	Shards int
+	// FlattenEvery overrides the serving experiment's per-shard
+	// publication threshold (default 128 inserts).
+	FlattenEvery int
+	// BatchedKNN routes the measured k-NN pass of the on-disk
+	// experiments through the grouped batch driver
+	// (query.MeasureKNNFlatBatch) instead of the one-query-at-a-time
+	// driver. Counts are bit-identical; only the measurement wall
+	// clock moves.
+	BatchedKNN bool
 }
 
 // withDefaults fills unset fields.
@@ -194,7 +208,13 @@ func (e *environment) measureOnDiskIO() (build, queries disk.Counters) {
 	if k > len(e.data) {
 		k = len(e.data)
 	}
-	results := query.MeasureKNNFlat(tree.Flatten(), e.queryPoints, k)
+	ft := tree.Flatten()
+	var results []query.Result
+	if e.opt.BatchedKNN {
+		results = query.MeasureKNNFlatBatch(ft, e.queryPoints, k)
+	} else {
+		results = query.MeasureKNNFlat(ft, e.queryPoints, k)
+	}
 	for _, r := range results {
 		pages := int64(r.LeafAccesses + r.DirAccesses)
 		queries.Seeks += pages

@@ -33,6 +33,10 @@ type ServeResult struct {
 	Dim     int
 	Readers int
 	K       int
+	// Shards is the serving shard count; with more than one, each
+	// publication event re-flattens and rewrites only the shard that
+	// filled, so FlattenPerGen and BytesPerGen shrink as O(N/Shards).
+	Shards int
 	// PrefilterBits is the quantized-scan prefilter width the served
 	// snapshots carried (0 = unfiltered).
 	PrefilterBits int
@@ -43,12 +47,20 @@ type ServeResult struct {
 	// admission-queue rejections (retried by the readers).
 	Served    int64
 	Overloads int64
-	// Inserted points were ingested during the run, publishing
-	// Generations snapshots of which Retired have drained.
-	Inserted    int
-	Generations int64
-	Retired     int64
-	Elapsed     time.Duration
+	// Inserted points were ingested during the run, causing Generations
+	// publication events (Publications shard snapshots across them, of
+	// which Retired have drained).
+	Inserted     int
+	Generations  int64
+	Publications int64
+	Retired      int64
+	// FlattenPerGen and BytesPerGen are the steady-state per-event
+	// publication costs (flatten time and durable bytes averaged over
+	// the run's post-boot publication events) — the costs sharding
+	// divides by the shard count.
+	FlattenPerGen time.Duration
+	BytesPerGen   int64
+	Elapsed       time.Duration
 	// Throughput is served queries per second of wall clock.
 	Throughput float64
 	// KNN is the per-query latency digest (queue wait + search).
@@ -82,8 +94,13 @@ func Serve(opt Options) (ServeResult, error) {
 		return ServeResult{}, fmt.Errorf("serve: %w", err)
 	}
 	defer os.RemoveAll(dir)
+	flattenEvery := opt.FlattenEvery
+	if flattenEvery <= 0 {
+		flattenEvery = 128
+	}
 	srv, err := serve.New(data, serve.Config{
-		FlattenEvery:  128,
+		Shards:        opt.Shards,
+		FlattenEvery:  flattenEvery,
 		QueueDepth:    256,
 		BatchSize:     16,
 		PrefilterBits: opt.PrefilterBits,
@@ -94,6 +111,10 @@ func Serve(opt Options) (ServeResult, error) {
 		return ServeResult{}, fmt.Errorf("serve: %w", err)
 	}
 	defer srv.Close()
+	// Baseline after boot: the per-generation publication costs below
+	// are steady-state (post-boot) averages, excluding the initial
+	// full-index publication.
+	boot := srv.Stats()
 
 	const readers = 4
 	inserts := len(data) / 4
@@ -162,23 +183,30 @@ func Serve(opt Options) (ServeResult, error) {
 	}
 
 	st := srv.Stats()
-	return ServeResult{
+	res := ServeResult{
 		Dataset:       scaled.Name,
 		N:             len(data),
 		Dim:           dim,
 		Readers:       readers,
 		K:             k,
+		Shards:        len(st.Shards),
 		PrefilterBits: opt.PrefilterBits,
 		Mapped:        st.Mapped,
 		Served:        served.Load(),
 		Overloads:     st.Overloads,
 		Inserted:      inserts,
 		Generations:   st.Generation,
+		Publications:  st.Publications,
 		Retired:       st.RetiredSnapshots,
 		Elapsed:       elapsed,
 		Throughput:    float64(served.Load()) / elapsed.Seconds(),
 		KNN:           st.KNN,
-	}, nil
+	}
+	if gens := st.Generation - boot.Generation; gens > 0 {
+		res.FlattenPerGen = (st.FlattenTime - boot.FlattenTime) / time.Duration(gens)
+		res.BytesPerGen = (st.BytesWritten - boot.BytesWritten) / gens
+	}
+	return res, nil
 }
 
 // String renders the experiment.
@@ -188,16 +216,18 @@ func (r ServeResult) String() string {
 	if r.PrefilterBits > 0 {
 		filter = fmt.Sprintf("prefilter %d bits", r.PrefilterBits)
 	}
-	fmt.Fprintf(&b, "Concurrent serving (extension) — %d readers vs 1 writer (%s, N=%d, d=%d, k=%d, %s)\n",
-		r.Readers, r.Dataset, r.N, r.Dim, r.K, filter)
+	fmt.Fprintf(&b, "Concurrent serving (extension) — %d readers vs 1 writer (%s, N=%d, d=%d, k=%d, S=%d, %s)\n",
+		r.Readers, r.Dataset, r.N, r.Dim, r.K, r.Shards, filter)
 	fmt.Fprintf(&b, "served %d queries in %v (%.0f q/s), %d rejected for backpressure\n",
 		r.Served, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Overloads)
 	serving := "resident snapshots"
 	if r.Mapped {
 		serving = "mmap-backed snapshots (zero-copy)"
 	}
-	fmt.Fprintf(&b, "ingested %d points across %d snapshot generations (%d retired, %s)\n",
-		r.Inserted, r.Generations, r.Retired, serving)
+	fmt.Fprintf(&b, "ingested %d points across %d publication events (%d shard snapshots, %d retired, %s)\n",
+		r.Inserted, r.Generations, r.Publications, r.Retired, serving)
+	fmt.Fprintf(&b, "publication cost: %v flatten, %d KB written per event (dirty shards only)\n",
+		r.FlattenPerGen.Round(time.Microsecond), r.BytesPerGen/1024)
 	fmt.Fprintf(&b, "k-NN latency: p50 %v  p95 %v  p99 %v  max %v  (mean %v over %d)\n",
 		r.KNN.P50.Round(time.Microsecond), r.KNN.P95.Round(time.Microsecond),
 		r.KNN.P99.Round(time.Microsecond), r.KNN.Max.Round(time.Microsecond),

@@ -30,3 +30,34 @@ func TestServeExperiment(t *testing.T) {
 		t.Fatal("empty rendering")
 	}
 }
+
+// TestServeExperimentSharded runs the serving experiment with four
+// shards and checks the sharded accounting: the retire invariant
+// generalizes to Publications - Shards live snapshots, and per-event
+// publication costs are recorded.
+func TestServeExperimentSharded(t *testing.T) {
+	opt := Options{Scale: 0.01, Queries: 40, K: 5, Seed: 1, Shards: 4, FlattenEvery: 32}
+	r, err := Serve(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards != 4 {
+		t.Fatalf("ran with %d shards, want 4", r.Shards)
+	}
+	if r.Served != int64(4*opt.Queries) {
+		t.Fatalf("served %d queries, want %d", r.Served, 4*opt.Queries)
+	}
+	if r.Generations < 2 {
+		t.Fatalf("only %d publication events — the writer never republished", r.Generations)
+	}
+	if r.Retired != r.Publications-int64(r.Shards) {
+		t.Fatalf("%d retired of %d shard snapshots with %d live shards",
+			r.Retired, r.Publications, r.Shards)
+	}
+	if r.FlattenPerGen <= 0 || r.BytesPerGen <= 0 {
+		t.Fatalf("per-event publication costs not recorded: %v / %d bytes", r.FlattenPerGen, r.BytesPerGen)
+	}
+	if r.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

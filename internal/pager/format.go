@@ -145,6 +145,9 @@ func decodeHeader(b []byte) (*header, error) {
 		return nil, fmt.Errorf("pager: file too short for a snapshot header (%d bytes)", len(b))
 	}
 	if string(b[0:4]) != Magic {
+		if string(b[0:4]) == ManifestMagic {
+			return nil, fmt.Errorf("pager: file is a shard manifest (magic %q), not a snapshot — open it with ReadManifest", ManifestMagic)
+		}
 		return nil, fmt.Errorf("pager: not a snapshot file (magic %q)", b[0:4])
 	}
 	le := binary.LittleEndian

@@ -117,6 +117,15 @@ func open(f *os.File, path string, opts Options) (*Snapshot, error) {
 		return nil, fmt.Errorf("empty file: not a snapshot")
 	}
 	if size < int64(headerBytes) {
+		// A shard manifest is smaller than a snapshot header; sniff its
+		// magic so cross-format confusion names the format instead of
+		// reporting a bare size mismatch.
+		if size >= 4 {
+			var magic [4]byte
+			if _, err := f.ReadAt(magic[:], 0); err == nil && string(magic[:]) == ManifestMagic {
+				return nil, fmt.Errorf("file is a shard manifest (magic %q), not a snapshot — open it with ReadManifest", ManifestMagic)
+			}
+		}
 		return nil, fmt.Errorf("file too short for a snapshot header (%d bytes, need %d)", size, headerBytes)
 	}
 	hdrBuf := make([]byte, headerBytes)

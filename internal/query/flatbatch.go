@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"hdidx/internal/par"
 	"hdidx/internal/rtree"
 )
 
@@ -276,4 +277,95 @@ func knnFlatBatch(ft *rtree.FlatTree, queries [][]float64, ks []int, out []Resul
 		out[i].Radius = math.Sqrt(sc.best[i].max())
 		out[i].Neighbors = sc.nbrs[i].extract()
 	}
+}
+
+// MeasureKNNFlatBatch is the batched twin of MeasureKNNFlat: it runs
+// the shared-frontier traversal per group of 64 queries and returns
+// per-query radii and access counts deep-equal to the single-query
+// driver. The batch traversal itself over-visits (see the package
+// comment), so its per-query counts are not the single-query numbers;
+// instead, each query's counts are recomputed exactly from its final
+// k-th bound by a bound-pruned DFS — valid because the accessed set of
+// the single-query best-first search is exactly the nodes whose
+// MINDIST is at most the final squared bound with an accessed parent,
+// independent of traversal order (same argument as RangeSearchFlat's,
+// with the final bound as the radius; the k-th bound itself is taken
+// from the batch heap before the lossy sqrt). Neighbors are not
+// collected, matching MeasureKNNFlat.
+//
+// The tree must carry no prefilter: the prefilter's skipped-row
+// counter depends on bound evolution during the traversal, which a
+// shared frontier changes, so on a prefiltered tree the batched counts
+// could not match the single-query driver. Measurement trees are built
+// unprefiltered (the prefilter never changes page accesses).
+func MeasureKNNFlatBatch(ft *rtree.FlatTree, queryPoints [][]float64, k int) []Result {
+	return MeasureKNNFlatBatchPool(ft, queryPoints, k, par.Pool{})
+}
+
+// MeasureKNNFlatBatchPool is MeasureKNNFlatBatch with the fan-out over
+// 64-query groups bounded by pool.
+func MeasureKNNFlatBatchPool(ft *rtree.FlatTree, queryPoints [][]float64, k int, pool par.Pool) []Result {
+	if ft.PrefilterBits != 0 {
+		panic("query: MeasureKNNFlatBatch requires an unprefiltered tree (prefilter skip counts are traversal-order dependent)")
+	}
+	out := make([]Result, len(queryPoints))
+	groups := (len(queryPoints) + batchWidth - 1) / batchWidth
+	pool.For(groups, func(g int) {
+		lo := g * batchWidth
+		hi := lo + batchWidth
+		if hi > len(queryPoints) {
+			hi = len(queryPoints)
+		}
+		ks := make([]int, hi-lo)
+		for i := range ks {
+			ks[i] = k
+		}
+		sc := batchPool.Get().(*batchScratch)
+		knnFlatBatch(ft, queryPoints[lo:hi], ks, out[lo:hi], sc)
+		fsc := flatPool.Get().(*flatScratch)
+		for i := lo; i < hi; i++ {
+			// sc.best[i-lo] still holds the final squared k-th bound;
+			// Radius is its sqrt and must not be re-squared.
+			leaf, dir := countAccessesFlat(ft, queryPoints[i], sc.best[i-lo].max(), fsc)
+			out[i].LeafAccesses, out[i].DirAccesses = leaf, dir
+			out[i].Neighbors = nil
+		}
+		flatPool.Put(fsc)
+		batchPool.Put(sc)
+	})
+	return out
+}
+
+// countAccessesFlat counts the leaf and directory nodes whose MINDIST
+// to q is at most the squared bound b2, descending only through
+// counted directories — the exact accessed set of the single-query
+// best-first search that ended with b2 as its k-th bound.
+func countAccessesFlat(ft *rtree.FlatTree, q []float64, b2 float64, sc *flatScratch) (leaf, dir int) {
+	if ft.NumNodes() == 0 {
+		return 0, 0
+	}
+	stack := sc.stack[:0]
+	if ft.Rects.MinSqDist(0, q) <= b2 {
+		stack = append(stack, 0)
+	}
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cc := int(ft.ChildCount[node])
+		if cc == 0 {
+			leaf++
+			continue
+		}
+		dir++
+		cs := int(ft.ChildStart[node])
+		dists := sc.childDists(cc)
+		ft.Rects.MinSqDists(q, cs, cc, b2, dists)
+		for j := 0; j < cc; j++ {
+			if dists[j] <= b2 {
+				stack = append(stack, int32(cs+j))
+			}
+		}
+	}
+	sc.stack = stack[:0]
+	return leaf, dir
 }

@@ -94,3 +94,54 @@ func TestKNNBatchEmptyAndZero(t *testing.T) {
 	}()
 	KNNSearchFlatBatch(ft, [][]float64{data[0]}, nil)
 }
+
+// TestMeasureKNNFlatBatchMatchesSingle is the deep-equal contract of
+// the batched measurement driver (ROADMAP 5a): over random geometries
+// and batch sizes crossing the 64-query group boundary, every Result —
+// radius, leaf and directory access counts, prefilter counters,
+// neighbors (none) — must equal MeasureKNNFlat's exactly. This is
+// stronger than the batch search property (counts may exceed there):
+// the measurement driver recomputes exact counts from the final bound.
+func TestMeasureKNNFlatBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		data, tr := buildRandomTree(rng)
+		ft := tr.Flatten()
+		nq := 1 + rng.Intn(150)
+		queries := make([][]float64, nq)
+		for i := range queries {
+			if rng.Intn(2) == 0 {
+				queries[i] = data[rng.Intn(len(data))]
+			} else {
+				queries[i] = uniformPoints(1, tr.Dim, rng.Int63())[0]
+			}
+		}
+		k := 1 + rng.Intn(len(data))
+		got := MeasureKNNFlatBatch(ft, queries, k)
+		want := MeasureKNNFlat(ft, queries, k)
+		if !reflect.DeepEqual(got, want) {
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("trial %d (n=%d dim=%d k=%d) query %d diverges:\n batch:  %+v\n single: %+v",
+						trial, len(data), tr.Dim, k, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("trial %d: results diverge", trial)
+		}
+	}
+}
+
+// TestMeasureKNNFlatBatchRejectsPrefilter pins the documented
+// restriction: a prefiltered tree must panic, not silently return
+// counts that cannot match the single-query driver.
+func TestMeasureKNNFlatBatchRejectsPrefilter(t *testing.T) {
+	data := uniformPoints(200, 6, 5)
+	ft := rtree.Build(data, rtree.BuildParams{LeafCap: 16, DirCap: 8}).
+		FlattenWith(rtree.FlattenOptions{PrefilterBits: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MeasureKNNFlatBatch accepted a prefiltered tree")
+		}
+	}()
+	MeasureKNNFlatBatch(ft, data[:3], 5)
+}

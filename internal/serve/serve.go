@@ -2,29 +2,54 @@
 // reader/writer split over the index structures of this repository.
 //
 // Readers never block and never take a lock on the data they search.
-// Every query runs against an immutable rtree.FlatTree snapshot
-// published through an atomic pointer; a reader pins the snapshot for
-// the duration of one search with an acquire/validate protocol (load,
+// Every query runs against immutable rtree.FlatTree snapshots
+// published through atomic pointers; a reader pins a snapshot for the
+// duration of one search with an acquire/validate protocol (load,
 // increment the pin count, re-check the pointer and the retired flag,
 // retry on failure), so a snapshot can never be observed after it was
-// retired. The single logical writer ingests points into a
-// write-optimized rtree.DynamicTree (R*-tree insertion) under a mutex
-// and periodically re-flattens it into a fresh snapshot that is
-// swapped in atomically — an LSM-flavored split between the ingest
-// format and the read format. A superseded snapshot retires exactly
-// once, when its last pin drains (or immediately at swap time if it
-// was unpinned); retire-exactly-once is a compare-and-swap on the
-// retired flag.
+// retired. The single logical writer ingests points into
+// write-optimized rtree.DynamicTree shards (R*-tree insertion) under a
+// mutex and periodically re-flattens a dirty shard into a fresh
+// snapshot that is swapped in atomically — an LSM-flavored split
+// between the ingest format and the read format. A superseded snapshot
+// retires exactly once, when its last pin drains (or immediately at
+// swap time if it was unpinned); retire-exactly-once is a
+// compare-and-swap on the retired flag.
 //
-// k-NN queries are admitted through a bounded queue and served in
-// batches: a single batcher goroutine drains up to Config.BatchSize
-// waiting queries, pins one snapshot, and answers all of them in one
-// shared best-first traversal (query.KNNSearchFlatBatch), amortizing
-// the directory walk and leaf loads over the batch. A full queue
-// rejects immediately with ErrOverloaded — backpressure surfaces to
-// the caller instead of growing an unbounded backlog. Range queries
-// are point lookups by comparison and run directly on a pinned
-// snapshot without batching.
+// # Sharding
+//
+// With Config.Shards = S > 1 the point set is dealt round-robin into S
+// independent shards, each with its own ingest tree, snapshot pointer,
+// and pin/retire lifecycle. The payoff is publication cost: a shard
+// republishes when *its own* pending count reaches FlattenEvery, so
+// each publication re-flattens (and, durably, rewrites) one shard of
+// ~N/S points instead of the whole index — per-publication CPU and
+// bytes written drop from O(N) to O(N/S) at the same average freshness
+// (S small publications happen where one large one did). Queries
+// scatter across all shard snapshots and gather through a bounded
+// top-k merge under the canonical (distance, lexicographic) order
+// (query.KNNMerge), which keeps results bit-identical to a single-tree
+// server over the same points.
+//
+// Durable sharded publication writes one immutable, generation-named
+// snapshot file per dirty shard plus a small checksummed manifest
+// (pager.WriteManifestAtomic) naming every shard's current file; the
+// manifest rename is the atomic commit point, and recovery refuses
+// anything the manifest names but cannot verify. With Shards == 1 the
+// durable format stays the original single snapshot file.
+//
+// # Admission
+//
+// k-NN and range queries are admitted through one bounded queue and
+// served in batches: a single batcher goroutine drains up to
+// Config.BatchSize waiting calls, pins one snapshot per shard, and
+// answers the k-NN calls in one shared best-first traversal per shard
+// (query.KNNSearchFlatBatch), amortizing the directory walk and leaf
+// loads over the batch; range calls in the batch are answered against
+// the same pinned snapshots. A full queue rejects immediately with
+// ErrOverloaded — backpressure surfaces to the caller instead of
+// growing an unbounded backlog — and calls that wait past
+// Config.QueueTimeout are shed with ErrDeadline.
 //
 // Per-query latencies (queue wait plus search) are recorded in
 // obs.LatencySketch reservoirs; Stats reports p50/p95/p99.
@@ -57,34 +82,43 @@ var ErrClosed = errors.New("serve: server closed")
 // back off.
 var ErrDeadline = errors.New("serve: queued past deadline")
 
+// MaxShards bounds Config.Shards.
+const MaxShards = 64
+
 // Config parameterizes a Server. The zero value of every field selects
 // a sensible default.
 type Config struct {
 	// Geometry is the page geometry of the index (the dynamic ingest
-	// tree derives its page capacities from it). A zero Geometry uses
+	// trees derive their page capacities from it). A zero Geometry uses
 	// rtree.NewGeometry over the dimensionality of the initial points.
 	Geometry rtree.Geometry
-	// FlattenEvery is the number of ingested points between snapshot
-	// publications (default 1024). Smaller values mean fresher reads
-	// and more flatten work; ingested points are invisible to queries
-	// until the next publication (call Flush to force one).
+	// Shards is the number of independent ingest shards (default 1,
+	// max MaxShards). Points are dealt round-robin; each shard carries
+	// its own snapshot and republishes independently, so publication
+	// cost scales with the shard size, not the index size. Query
+	// results are bit-identical for every shard count.
+	Shards int
+	// FlattenEvery is the number of points ingested into one shard
+	// between that shard's publications (default 1024). Smaller values
+	// mean fresher reads and more flatten work; ingested points are
+	// invisible to queries until the next publication (call Flush to
+	// force one).
 	FlattenEvery int
-	// QueueDepth bounds the k-NN admission queue (default 256). A full
+	// QueueDepth bounds the admission queue (default 256). A full
 	// queue rejects with ErrOverloaded.
 	QueueDepth int
-	// BatchSize is the maximum number of queued k-NN queries answered
-	// by one shared traversal (default 16, capped at 64 — the width of
-	// the traversal's interest bitmask).
+	// BatchSize is the maximum number of queued calls answered by one
+	// batch — k-NN calls share one traversal per shard (default 16,
+	// capped at 64, the width of the traversal's interest bitmask).
 	BatchSize int
 	// SketchSize is the latency reservoir capacity per sketch
 	// (default obs.DefaultSketchSize).
 	SketchSize int
-	// QueueTimeout bounds how long a k-NN query may wait on the
-	// admission queue. A query the batcher reaches after its deadline
-	// fails with ErrDeadline instead of occupying a batch slot, so a
-	// stalled or saturated batcher sheds stale work rather than
-	// serving answers nobody is waiting for. 0 (the default) disables
-	// the deadline.
+	// QueueTimeout bounds how long a call may wait on the admission
+	// queue. A call the batcher reaches after its deadline fails with
+	// ErrDeadline instead of occupying a batch slot, so a stalled or
+	// saturated batcher sheds stale work rather than serving answers
+	// nobody is waiting for. 0 (the default) disables the deadline.
 	QueueTimeout time.Duration
 	// PrefilterBits enables the quantized scan prefilter on published
 	// snapshots: each publication quantizes leaf points to this many
@@ -93,15 +127,19 @@ type Config struct {
 	// bit-identical to the unfiltered search. Valid widths are 0 (off,
 	// the default) through 8; New rejects other values.
 	PrefilterBits int
-	// SnapshotPath, when non-empty, makes publication durable: every
-	// published generation is also written to this file atomically
-	// (tmp + fsync + rename via pager.WriteFileAtomic), so a crash at
-	// any moment leaves the previous or the new snapshot on disk, never
-	// a torn file. New recovers the persisted points from an existing
-	// file at this path before ingesting the initial points, so a
-	// restarted server resumes from its last published generation
-	// (generation numbers themselves are per-process). Empty (the
-	// default) serves purely in memory.
+	// SnapshotPath, when non-empty, makes publication durable. With
+	// Shards <= 1 every published generation is written to this file
+	// atomically (tmp + fsync + rename via pager.WriteFileAtomic).
+	// With Shards > 1 the path names a checksummed manifest; each
+	// dirty shard's snapshot is written to an immutable
+	// generation-named side file (pager.ShardPath) and the manifest
+	// rename commits the set atomically — a crash at any moment leaves
+	// a fully consistent previous or new generation on disk, never a
+	// torn or mixed one. New recovers the persisted points from this
+	// path before ingesting the initial points, so a restarted server
+	// resumes from its last published generation (generation numbers
+	// themselves are per-process). Empty (the default) serves purely
+	// in memory.
 	SnapshotPath string
 	// Backend selects how durably published generations are served when
 	// SnapshotPath is set. pager.BackendMmap reopens each published file
@@ -119,6 +157,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.FlattenEvery <= 0 {
 		c.FlattenEvery = 1024
 	}
@@ -134,13 +175,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// snapshot is one published epoch: an immutable flat tree plus the
-// pin accounting that decides when it may retire. When pg is non-nil
-// the tree's arrays are zero-copy views into pg's read-only file
-// mapping; retirement closes pg (unmapping exactly once, after the
-// last pin drained — a pinned reader can therefore never touch
-// unmapped memory). The final generation is never superseded, so its
-// mapping intentionally lives until process exit: Stats, Len, and
+// snapshot is one published epoch of one shard: an immutable flat tree
+// plus the pin accounting that decides when it may retire. When pg is
+// non-nil the tree's arrays are zero-copy views into pg's read-only
+// file mapping; retirement closes pg (unmapping exactly once, after
+// the last pin drained — a pinned reader can therefore never touch
+// unmapped memory). A shard's final generation is never superseded, so
+// its mapping intentionally lives until process exit: Stats, Len, and
 // Generation stay readable after Close.
 type snapshot struct {
 	ft  *rtree.FlatTree
@@ -173,27 +214,66 @@ func (sn *snapshot) tryRetire() {
 	}
 }
 
+// shard is one independent slice of the index: its own ingest tree,
+// snapshot pointer, and durable-file bookkeeping.
+type shard struct {
+	id  int
+	cur atomic.Pointer[snapshot]
+
+	// Mutated under Server.mu.
+	dyn     *rtree.DynamicTree
+	pending int
+	// fileGen/fileBytes/fileCRC describe this shard's current durable
+	// side file (sharded durable mode only; fileGen 0 = none yet).
+	// durableGen trails fileGen: it is the file generation named by the
+	// last successfully written manifest, and the sweep keeps both.
+	fileGen    int64
+	fileBytes  int64
+	fileCRC    uint32
+	durableGen int64
+
+	pubs  atomic.Int64 // snapshots this shard published
+	bytes atomic.Int64 // durable bytes written for this shard
+}
+
+// acquire pins the shard's current snapshot. The
+// increment-then-validate loop guarantees the returned snapshot is not
+// retired and cannot retire before the matching release: a snapshot
+// only retires when unpinned and superseded, and validation re-checks
+// both the pointer and the retired flag after the pin landed.
+func (sh *shard) acquire() *snapshot {
+	for {
+		sn := sh.cur.Load()
+		sn.pins.Add(1)
+		if sh.cur.Load() == sn && !sn.retired.Load() {
+			return sn
+		}
+		// Lost a race with a publication; the stray pin may be the
+		// last one out and must honor retirement.
+		sn.release()
+	}
+}
+
 // Server is the epoch-based serving core. Create one with New; all
 // methods are safe for concurrent use by any number of goroutines.
 type Server struct {
 	cfg Config
 	dim int
 
-	cur atomic.Pointer[snapshot]
+	shards []*shard
 
-	mu      sync.Mutex // guards dyn, pending, and publication order
-	dyn     *rtree.DynamicTree
-	pending int
+	mu sync.Mutex // guards every shard's dyn/pending/file*, rr, and publication order
+	rr int        // round-robin ingest cursor
 
-	queue chan *knnCall
+	queue chan *call
 	done  chan struct{}
 	wg    sync.WaitGroup
 
-	// sendMu fences KNN's check-closed-then-enqueue against Close's
-	// final queue drain: senders hold it shared around the re-check and
-	// the send, Close takes it exclusively after stopping the batcher,
-	// so once Close's barrier passes no call can slip into the queue
-	// behind the drain.
+	// sendMu fences a sender's check-closed-then-enqueue against
+	// Close's final queue drain: senders hold it shared around the
+	// re-check and the send, Close takes it exclusively after stopping
+	// the batcher, so once Close's barrier passes no call can slip into
+	// the queue behind the drain.
 	sendMu sync.RWMutex
 
 	closed atomic.Bool
@@ -204,24 +284,37 @@ type Server struct {
 	// from the mapping. Always false when SnapshotPath is empty.
 	mmapServe bool
 
-	gens      atomic.Int64
+	gens      atomic.Int64 // publication events (generation counter)
+	pubs      atomic.Int64 // snapshots published across shards
 	retires   atomic.Int64
 	overloads atomic.Int64
 	deadlines atomic.Int64
+	flatNS    atomic.Int64 // cumulative flatten time, ns
+	bytesW    atomic.Int64 // cumulative durable bytes (snapshots + manifests)
 
 	knnLat   *obs.LatencySketch
 	rangeLat *obs.LatencySketch
 }
 
-type knnCall struct {
-	q     []float64
-	k     int
-	start time.Time
-	reply chan knnReply
+// call kinds on the unified admission queue.
+const (
+	callKNN = iota
+	callRange
+)
+
+type call struct {
+	kind   int
+	q      []float64 // query point (k-NN) or sphere center (range)
+	k      int
+	radius float64
+	start  time.Time
+	reply  chan reply
 }
 
-type knnReply struct {
+type reply struct {
 	res Result
+	n   int   // range count
+	gen int64 // generation that served a range call
 	err error
 }
 
@@ -231,32 +324,52 @@ type Result struct {
 	// private copies — retaining or mutating them is always safe.
 	Neighbors [][]float64
 	// LeafAccesses and DirAccesses count the pages this query was
-	// charged during the (possibly shared) traversal.
+	// charged during the (possibly shared) traversal, summed across
+	// shards in sharded mode.
 	LeafAccesses int
 	DirAccesses  int
 	// Radius is the distance to the k-th neighbor.
 	Radius float64
-	// Generation identifies the snapshot that served the query.
+	// Generation identifies the publication generation that served the
+	// query (the maximum across the pinned shard snapshots).
 	Generation int64
 }
 
 // New starts a server over the initial points (which may be empty when
 // Config.Geometry says how wide future points are). When
-// Config.SnapshotPath names an existing snapshot file, its points are
-// recovered first — the restarted server resumes from the last durably
-// published generation — then the initial points are ingested on top,
-// and the union is published as generation 1. A snapshot file that
-// exists but fails verification is an error, never silently ignored.
+// Config.SnapshotPath names an existing snapshot file (Shards <= 1) or
+// shard manifest (Shards > 1), its points are recovered first — the
+// restarted server resumes from the last durably published
+// generation — then the initial points are ingested on top, and the
+// union is published as generation 1. A file that exists but fails
+// verification is an error, never silently ignored; so is a shard
+// count that does not match the manifest, a missing or altered shard
+// file, or a snapshot/manifest format mix-up.
 func New(initial [][]float64, cfg Config) (*Server, error) {
-	var recovered *rtree.FlatTree
+	if cfg.Shards < 0 || cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("serve: %d shards outside [1, %d]", cfg.Shards, MaxShards)
+	}
+	cfg = cfg.withDefaults()
+	sharded := cfg.Shards > 1
+
+	// recovered[i] is what shard i must re-ingest; in legacy mode the
+	// single recovered tree lands in recovered[0] (and is re-dealt
+	// round-robin, matching how it would have been ingested).
+	recovered := make([]*rtree.FlatTree, cfg.Shards)
 	if cfg.SnapshotPath != "" {
 		switch _, err := os.Stat(cfg.SnapshotPath); {
 		case err == nil:
-			ft, lerr := pager.Load(cfg.SnapshotPath)
-			if lerr != nil {
-				return nil, fmt.Errorf("serve: recover snapshot: %w", lerr)
+			if sharded {
+				if err := recoverShards(cfg, recovered); err != nil {
+					return nil, err
+				}
+			} else {
+				ft, lerr := pager.Load(cfg.SnapshotPath)
+				if lerr != nil {
+					return nil, fmt.Errorf("serve: recover snapshot: %w", lerr)
+				}
+				recovered[0] = ft
 			}
-			recovered = ft
 		case !os.IsNotExist(err):
 			return nil, fmt.Errorf("serve: recover snapshot: %w", err)
 		}
@@ -265,8 +378,8 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 	if g.Dim < 1 {
 		dim := 0
 		switch {
-		case recovered != nil && recovered.Dim > 0:
-			dim = recovered.Dim
+		case firstRecoveredDim(recovered) > 0:
+			dim = firstRecoveredDim(recovered)
 		case len(initial) > 0 && len(initial[0]) > 0:
 			dim = len(initial[0])
 		default:
@@ -290,7 +403,6 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 	if cfg.QueueTimeout < 0 {
 		return nil, fmt.Errorf("serve: negative queue timeout %v", cfg.QueueTimeout)
 	}
-	cfg = cfg.withDefaults()
 	pb := g.PageBytes
 	if pb < pager.MinPageBytes {
 		pb = rtree.NewGeometry(1).PageBytes
@@ -298,31 +410,46 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:           cfg,
 		dim:           g.Dim,
-		dyn:           rtree.NewDynamic(g),
-		queue:         make(chan *knnCall, cfg.QueueDepth),
+		shards:        make([]*shard, cfg.Shards),
+		queue:         make(chan *call, cfg.QueueDepth),
 		done:          make(chan struct{}),
 		snapPageBytes: pb,
 		knnLat:        obs.NewLatencySketch(cfg.SketchSize),
 		rangeLat:      obs.NewLatencySketch(cfg.SketchSize),
 	}
+	for i := range s.shards {
+		s.shards[i] = &shard{id: i, dyn: rtree.NewDynamic(g)}
+	}
 	s.mmapServe = cfg.SnapshotPath != "" &&
 		pager.ResolveBackend(cfg.Backend) == pager.BackendMmap
-	if recovered != nil && recovered.NumPoints > 0 {
-		if recovered.Dim != s.dim {
-			return nil, fmt.Errorf("serve: recovered snapshot dimension %d, configured %d", recovered.Dim, s.dim)
+	for i, ft := range recovered {
+		if ft == nil || ft.NumPoints == 0 {
+			continue
 		}
-		for r := 0; r < recovered.NumPoints; r++ {
-			s.dyn.Insert(clonePoint(recovered.Points.Row(r)))
+		if ft.Dim != s.dim {
+			return nil, fmt.Errorf("serve: recovered snapshot dimension %d, configured %d", ft.Dim, s.dim)
+		}
+		// Legacy single-file recovery re-deals round-robin; sharded
+		// recovery restores each shard's own rows, preserving the
+		// assignment (and with it the balance of publication costs).
+		for r := 0; r < ft.NumPoints; r++ {
+			target := s.shards[i]
+			if !sharded {
+				target = s.shards[s.rr%len(s.shards)]
+				s.rr++
+			}
+			target.dyn.Insert(clonePoint(ft.Points.Row(r)))
 		}
 	}
 	for i, p := range initial {
 		if len(p) != s.dim {
 			return nil, fmt.Errorf("serve: point %d has dimension %d, want %d", i, len(p), s.dim)
 		}
-		s.dyn.Insert(clonePoint(p))
+		s.shards[s.rr%len(s.shards)].dyn.Insert(clonePoint(p))
+		s.rr++
 	}
 	s.mu.Lock()
-	err := s.publishLocked()
+	err := s.publishLocked(s.shards)
 	s.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -332,91 +459,212 @@ func New(initial [][]float64, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// recoverShards reads the manifest at cfg.SnapshotPath, verifies every
+// shard file it names against the recorded size and header checksum,
+// and loads each into recovered. Any inconsistency — wrong shard
+// count, a missing or altered file, a single-snapshot file where the
+// manifest should be — is a loud error: recovery never serves a mixed
+// or partial generation.
+func recoverShards(cfg Config, recovered []*rtree.FlatTree) error {
+	m, err := pager.ReadManifest(cfg.SnapshotPath)
+	if err != nil {
+		return fmt.Errorf("serve: recover manifest: %w", err)
+	}
+	if len(m.Shards) != cfg.Shards {
+		return fmt.Errorf("serve: manifest has %d shards, configured %d — shard count cannot change across restarts of a durable path",
+			len(m.Shards), cfg.Shards)
+	}
+	for i, ms := range m.Shards {
+		if ms.Generation == 0 {
+			continue // durably empty shard
+		}
+		path := pager.ShardPath(cfg.SnapshotPath, i, ms.Generation)
+		crc, size, err := pager.FileSummary(path)
+		if err != nil {
+			return fmt.Errorf("serve: recover shard %d (generation %d): %w", i, ms.Generation, err)
+		}
+		if size != ms.Bytes || crc != ms.HeaderCRC {
+			return fmt.Errorf("serve: recover shard %d: file %s is %d bytes with header CRC %08x, manifest expects %d bytes with %08x",
+				i, path, size, crc, ms.Bytes, ms.HeaderCRC)
+		}
+		ft, err := pager.Load(path)
+		if err != nil {
+			return fmt.Errorf("serve: recover shard %d: %w", i, err)
+		}
+		recovered[i] = ft
+	}
+	return nil
+}
+
+func firstRecoveredDim(recovered []*rtree.FlatTree) int {
+	for _, ft := range recovered {
+		if ft != nil && ft.Dim > 0 {
+			return ft.Dim
+		}
+	}
+	return 0
+}
+
 func clonePoint(p []float64) []float64 {
 	cp := make([]float64, len(p))
 	copy(cp, p)
 	return cp
 }
 
-// acquire pins the current snapshot. The increment-then-validate loop
-// guarantees the returned snapshot is not retired and cannot retire
-// before the matching release: a snapshot only retires when unpinned
-// and superseded, and validation re-checks both the pointer and the
-// retired flag after the pin landed.
-func (s *Server) acquire() *snapshot {
-	for {
-		sn := s.cur.Load()
-		sn.pins.Add(1)
-		if s.cur.Load() == sn && !sn.retired.Load() {
-			return sn
-		}
-		// Lost a race with a publication; the stray pin may be the
-		// last one out and must honor retirement.
+// acquireAll pins every shard's current snapshot, in shard order.
+func (s *Server) acquireAll() []*snapshot {
+	sns := make([]*snapshot, len(s.shards))
+	for i, sh := range s.shards {
+		sns[i] = sh.acquire()
+	}
+	return sns
+}
+
+func releaseAll(sns []*snapshot) {
+	for _, sn := range sns {
 		sn.release()
 	}
 }
 
-// publishHook, when non-nil, observes every publication just before
-// the swap, with the resident flattened tree and the snapshot about to
-// go live. Tests use it to poison the resident arrays of an
+// publishHook, when non-nil, observes every shard publication just
+// before the swap, with the resident flattened tree and the snapshot
+// about to go live. Tests use it to poison the resident arrays of an
 // mmap-backed generation, proving served rows come from the mapping.
 var publishHook func(resident *rtree.FlatTree, sn *snapshot)
 
-// publishLocked flattens the dynamic tree into a fresh snapshot,
-// writes it durably when Config.SnapshotPath is set, and swaps it in.
-// Caller holds s.mu.
+// publishLocked is one publication event: it flattens each target
+// shard's dynamic tree into a fresh snapshot, writes the dirty shards
+// (and, in sharded durable mode, the manifest) when
+// Config.SnapshotPath is set, and swaps the new snapshots in. With no
+// targets it is a pure no-op — no generation is consumed, nothing is
+// flattened, no file is touched. Caller holds s.mu.
 //
 // On the mmap serving path the durable write happens before the swap:
 // the published file is reopened read-only via mmap and the snapshot
 // serves the mapped tree, so the bytes must be on disk first. A
 // durability (or forced-mmap) error is still returned after the
-// in-memory swap of the resident tree — the new generation is live
-// for queries, but the on-disk state holds the previous one (or the
-// new one unmapped, for a forced-mmap failure).
-func (s *Server) publishLocked() error {
-	ft := s.dyn.FlattenWith(rtree.FlattenOptions{PrefilterBits: s.cfg.PrefilterBits})
-	sn := &snapshot{
-		ft:  ft,
-		gen: s.gens.Add(1),
+// in-memory swap of the resident trees — the new generation is live
+// for queries, but the on-disk state holds the previous consistent
+// one.
+func (s *Server) publishLocked(targets []*shard) error {
+	if len(targets) == 0 {
+		return nil
 	}
-	sn.onRetire = func(dead *snapshot) {
-		s.retires.Add(1)
-		if dead.pg != nil {
-			dead.pg.Close() // unmap: the last pin has drained
-		}
-	}
+	gen := s.gens.Add(1)
+	sharded := len(s.shards) > 1
 	var pubErr error
-	if s.cfg.SnapshotPath != "" {
-		if _, err := pager.WriteFileAtomic(s.cfg.SnapshotPath, ft, s.snapPageBytes); err != nil {
-			pubErr = fmt.Errorf("serve: durable publication of generation %d: %w", sn.gen, err)
-		} else if s.mmapServe {
-			pg, err := pager.OpenWith(s.cfg.SnapshotPath, pager.Options{Backend: pager.BackendMmap})
-			switch {
-			case err == nil:
-				sn.ft = pg.Tree()
-				sn.pg = pg
-			case s.cfg.Backend == pager.BackendMmap:
-				pubErr = fmt.Errorf("serve: mmap publication of generation %d: %w", sn.gen, err)
+	manifestDirty := false
+	for _, sh := range targets {
+		t0 := time.Now()
+		ft := sh.dyn.FlattenWith(rtree.FlattenOptions{PrefilterBits: s.cfg.PrefilterBits})
+		s.flatNS.Add(int64(time.Since(t0)))
+		sn := &snapshot{ft: ft, gen: gen}
+		sn.onRetire = func(dead *snapshot) {
+			s.retires.Add(1)
+			if dead.pg != nil {
+				dead.pg.Close() // unmap: the last pin has drained
 			}
-			// Auto resolution: a failed map silently serves the resident
-			// tree — the durable file is intact either way.
+		}
+		if s.cfg.SnapshotPath != "" {
+			path := s.cfg.SnapshotPath
+			if sharded {
+				path = pager.ShardPath(s.cfg.SnapshotPath, sh.id, gen)
+			}
+			if n, err := pager.WriteFileAtomic(path, ft, s.snapPageBytes); err != nil {
+				pubErr = fmt.Errorf("serve: durable publication of generation %d (shard %d): %w", gen, sh.id, err)
+			} else {
+				sh.bytes.Add(n)
+				s.bytesW.Add(n)
+				if sharded {
+					crc, size, serr := pager.FileSummary(path)
+					if serr != nil {
+						pubErr = fmt.Errorf("serve: durable publication of generation %d (shard %d): %w", gen, sh.id, serr)
+					} else {
+						sh.fileGen, sh.fileBytes, sh.fileCRC = gen, size, crc
+						manifestDirty = true
+					}
+				}
+				if s.mmapServe && pubErr == nil {
+					pg, err := pager.OpenWith(path, pager.Options{Backend: pager.BackendMmap})
+					switch {
+					case err == nil:
+						sn.ft = pg.Tree()
+						sn.pg = pg
+					case s.cfg.Backend == pager.BackendMmap:
+						pubErr = fmt.Errorf("serve: mmap publication of generation %d (shard %d): %w", gen, sh.id, err)
+					}
+					// Auto resolution: a failed map silently serves the
+					// resident tree — the durable file is intact either way.
+				}
+			}
+		}
+		if publishHook != nil {
+			publishHook(ft, sn)
+		}
+		old := sh.cur.Swap(sn)
+		sh.pending = 0
+		sh.pubs.Add(1)
+		s.pubs.Add(1)
+		if old != nil {
+			old.superseded.Store(true)
+			old.tryRetire()
 		}
 	}
-	if publishHook != nil {
-		publishHook(ft, sn)
-	}
-	old := s.cur.Swap(sn)
-	s.pending = 0
-	if old != nil {
-		old.superseded.Store(true)
-		old.tryRetire()
+	if manifestDirty {
+		if err := s.writeManifestLocked(gen); err != nil {
+			if pubErr == nil {
+				pubErr = err
+			}
+		} else {
+			for _, sh := range s.shards {
+				sh.durableGen = sh.fileGen
+			}
+			s.sweepStaleLocked()
+		}
 	}
 	return pubErr
 }
 
-// Insert ingests one point. The point is copied; it becomes visible to
-// queries at the next publication (every Config.FlattenEvery inserts,
-// or on Flush).
+// writeManifestLocked commits the current shard-file set durably.
+// Caller holds s.mu.
+func (s *Server) writeManifestLocked(gen int64) error {
+	m := &pager.Manifest{Generation: gen, Dim: s.dim, Shards: make([]pager.ManifestShard, len(s.shards))}
+	for i, sh := range s.shards {
+		m.Shards[i] = pager.ManifestShard{Generation: sh.fileGen, Bytes: sh.fileBytes, HeaderCRC: sh.fileCRC}
+	}
+	n, err := pager.WriteManifestAtomic(s.cfg.SnapshotPath, m)
+	if err != nil {
+		return fmt.Errorf("serve: manifest publication of generation %d: %w", gen, err)
+	}
+	s.bytesW.Add(n)
+	return nil
+}
+
+// sweepStaleLocked deletes shard side files no longer named by either
+// the in-memory file set or the last durable manifest. It runs only
+// after a successful manifest write, so a crash can never leave the
+// durable manifest pointing at a swept file. Caller holds s.mu.
+func (s *Server) sweepStaleLocked() {
+	files, err := pager.ShardFiles(s.cfg.SnapshotPath)
+	if err != nil {
+		return
+	}
+	for _, f := range files {
+		id, gen, ok := pager.ParseShardPath(s.cfg.SnapshotPath, f)
+		if !ok || id >= len(s.shards) {
+			continue
+		}
+		sh := s.shards[id]
+		if gen != sh.fileGen && gen != sh.durableGen {
+			os.Remove(f)
+		}
+	}
+}
+
+// Insert ingests one point into the next round-robin shard. The point
+// is copied; it becomes visible to queries at that shard's next
+// publication (every Config.FlattenEvery inserts into the shard, or on
+// Flush).
 func (s *Server) Insert(p []float64) error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -430,21 +678,26 @@ func (s *Server) Insert(p []float64) error {
 	if s.closed.Load() { // re-check under s.mu: Close may have won the race
 		return ErrClosed
 	}
-	s.dyn.Insert(cp)
-	s.pending++
-	if s.pending >= s.cfg.FlattenEvery {
-		return s.publishLocked()
+	sh := s.shards[s.rr%len(s.shards)]
+	s.rr++
+	sh.dyn.Insert(cp)
+	sh.pending++
+	if sh.pending >= s.cfg.FlattenEvery {
+		return s.publishLocked([]*shard{sh})
 	}
 	return nil
 }
 
-// Flush publishes any ingested-but-unpublished points immediately. On
-// a closed server it returns ErrClosed without publishing — Close is
-// final; no generation may appear after it (the closed flag is
-// re-checked under s.mu, which Close fences after stopping the
-// batcher, so a Flush that loses the race with Close cannot publish on
-// the dead server). Stats and Generation remain readable after Close:
-// they only observe the last snapshot, they cannot create one.
+// Flush publishes any ingested-but-unpublished points immediately —
+// only the dirty shards are re-flattened and rewritten; with nothing
+// pending anywhere Flush is a pure no-op that consumes no generation
+// and touches no file. On a closed server it returns ErrClosed without
+// publishing — Close is final; no generation may appear after it (the
+// closed flag is re-checked under s.mu, which Close fences after
+// stopping the batcher, so a Flush that loses the race with Close
+// cannot publish on the dead server). Stats and Generation remain
+// readable after Close: they only observe the last snapshots, they
+// cannot create one.
 func (s *Server) Flush() error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -454,10 +707,50 @@ func (s *Server) Flush() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	if s.pending > 0 {
-		return s.publishLocked()
+	var dirty []*shard
+	for _, sh := range s.shards {
+		if sh.pending > 0 {
+			dirty = append(dirty, sh)
+		}
 	}
-	return nil
+	return s.publishLocked(dirty)
+}
+
+// enqueue admits c with the closed/overload protocol and waits for the
+// batcher's reply.
+func (s *Server) enqueue(c *call) (reply, error) {
+	// Enqueue under the shared send lock with a re-check of closed:
+	// a call that slips past the caller's closed check while Close runs
+	// must either observe closed here, or complete its send before
+	// Close's exclusive barrier — in which case the final drain finds
+	// it. Without this fence a send could land after the drain emptied
+	// the queue, orphaning the call.
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		return reply{}, ErrClosed
+	}
+	select {
+	case s.queue <- c:
+		s.sendMu.RUnlock()
+	default:
+		s.sendMu.RUnlock()
+		s.overloads.Add(1)
+		return reply{}, ErrOverloaded
+	}
+	select {
+	case r := <-c.reply:
+		return r, r.err
+	case <-s.done:
+		// The server is closing; the batcher may still have answered
+		// this call before exiting.
+		select {
+		case r := <-c.reply:
+			return r, r.err
+		default:
+			return reply{}, ErrClosed
+		}
+	}
 }
 
 // KNN answers one k-NN query. The call enqueues on the admission queue
@@ -471,44 +764,17 @@ func (s *Server) KNN(q []float64, k int) (Result, error) {
 	if len(q) != s.dim {
 		return Result{}, fmt.Errorf("serve: query dimension %d, index dimension %d", len(q), s.dim)
 	}
-	c := &knnCall{q: q, k: k, start: time.Now(), reply: make(chan knnReply, 1)}
-	// Enqueue under the shared send lock with a re-check of closed:
-	// a call that slips past the top-of-function check while Close runs
-	// must either observe closed here, or complete its send before
-	// Close's exclusive barrier — in which case the final drain finds
-	// it. Without this fence a send could land after the drain emptied
-	// the queue, orphaning the call.
-	s.sendMu.RLock()
-	if s.closed.Load() {
-		s.sendMu.RUnlock()
-		return Result{}, ErrClosed
-	}
-	select {
-	case s.queue <- c:
-		s.sendMu.RUnlock()
-	default:
-		s.sendMu.RUnlock()
-		s.overloads.Add(1)
-		return Result{}, ErrOverloaded
-	}
-	select {
-	case r := <-c.reply:
-		return r.res, r.err
-	case <-s.done:
-		// The server is closing; the batcher may still have answered
-		// this call before exiting.
-		select {
-		case r := <-c.reply:
-			return r.res, r.err
-		default:
-			return Result{}, ErrClosed
-		}
-	}
+	c := &call{kind: callKNN, q: q, k: k, start: time.Now(), reply: make(chan reply, 1)}
+	r, err := s.enqueue(c)
+	return r.res, err
 }
 
 // RangeCount returns the number of indexed points within radius of
-// center on the current snapshot, with the access counts of the
-// search.
+// center, with the generation that served it. Like KNN it goes through
+// the admission queue — full-queue and deadline shedding apply — and
+// is answered by the batcher against the same pinned snapshots as the
+// rest of its batch; the count is bit-identical to a direct
+// query.RangeSearchFlat over the served points.
 func (s *Server) RangeCount(center []float64, radius float64) (n int, generation int64, err error) {
 	if s.closed.Load() {
 		return 0, 0, ErrClosed
@@ -519,21 +785,17 @@ func (s *Server) RangeCount(center []float64, radius float64) (n int, generation
 	if radius < 0 {
 		return 0, 0, fmt.Errorf("serve: negative radius")
 	}
-	start := time.Now()
-	sn := s.acquire()
-	n, _ = query.RangeSearchFlat(sn.ft, query.Sphere{Center: center, Radius: radius})
-	gen := sn.gen
-	sn.release()
-	s.rangeLat.Observe(time.Since(start))
-	return n, gen, nil
+	c := &call{kind: callRange, q: center, radius: radius, start: time.Now(), reply: make(chan reply, 1)}
+	r, err := s.enqueue(c)
+	return r.n, r.gen, err
 }
 
 // batchLoop is the single batcher goroutine: it blocks for one call,
 // then opportunistically drains up to BatchSize-1 more and answers
-// them all in one shared traversal.
+// them all against one pinned snapshot set.
 func (s *Server) batchLoop() {
 	defer s.wg.Done()
-	calls := make([]*knnCall, 0, s.cfg.BatchSize)
+	calls := make([]*call, 0, s.cfg.BatchSize)
 	for {
 		select {
 		case <-s.done:
@@ -554,53 +816,110 @@ func (s *Server) batchLoop() {
 	}
 }
 
-// serveBatch answers the calls against one pinned snapshot.
-func (s *Server) serveBatch(calls []*knnCall) {
-	sn := s.acquire()
-	ft := sn.ft
-	// Validate k against the snapshot actually being searched — the
-	// snapshot is the authority on what it can serve.
-	valid := calls[:0:0]
+// serveBatch answers the calls against one pinned snapshot per shard.
+// k-NN calls share one traversal per shard and merge through
+// query.KNNMerge; range calls run against the same pinned set.
+func (s *Server) serveBatch(calls []*call) {
+	sns := s.acquireAll()
+	total := 0
+	var maxGen int64
+	for _, sn := range sns {
+		total += sn.ft.NumPoints
+		if sn.gen > maxGen {
+			maxGen = sn.gen
+		}
+	}
+	// Validate against the snapshot set actually being searched — the
+	// pinned set is the authority on what it can serve.
+	knns := calls[:0:0]
 	var qs [][]float64
 	var ks []int
 	for _, c := range calls {
 		if s.cfg.QueueTimeout > 0 && time.Since(c.start) > s.cfg.QueueTimeout {
-			// The query aged out on the queue; fail it without letting
+			// The call aged out on the queue; fail it without letting
 			// it occupy a batch slot so fresh work isn't displaced by
 			// answers nobody is waiting for anymore.
 			s.deadlines.Add(1)
-			c.reply <- knnReply{err: ErrDeadline}
+			c.reply <- reply{err: ErrDeadline}
 			continue
 		}
-		if c.k < 1 || c.k > ft.NumPoints {
-			c.reply <- knnReply{err: fmt.Errorf("serve: k=%d outside [1, %d]", c.k, ft.NumPoints)}
+		if c.kind == callRange {
+			n := 0
+			for _, sn := range sns {
+				pts, _ := query.RangeSearchFlat(sn.ft, query.Sphere{Center: c.q, Radius: c.radius})
+				n += pts
+			}
+			s.rangeLat.Observe(time.Since(c.start))
+			c.reply <- reply{n: n, gen: maxGen}
 			continue
 		}
-		valid = append(valid, c)
+		if c.k < 1 || c.k > total {
+			c.reply <- reply{err: fmt.Errorf("serve: k=%d outside [1, %d]", c.k, total)}
+			continue
+		}
+		knns = append(knns, c)
 		qs = append(qs, c.q)
 		ks = append(ks, c.k)
 	}
-	if len(valid) > 0 {
-		results := query.KNNSearchFlatBatch(ft, qs, ks)
-		for i, c := range valid {
-			r := results[i]
-			res := Result{
-				Neighbors:    copyNeighbors(r.Neighbors, ft.Dim),
-				LeafAccesses: r.LeafAccesses,
-				DirAccesses:  r.DirAccesses,
-				Radius:       r.Radius,
-				Generation:   sn.gen,
+	if len(knns) > 0 {
+		if len(sns) == 1 {
+			// Single shard: the merged path would be correct too, but the
+			// per-shard results are already the answer.
+			results := query.KNNSearchFlatBatch(sns[0].ft, qs, ks)
+			for i, c := range knns {
+				s.answerKNN(c, results[i], maxGen)
 			}
-			s.knnLat.Observe(time.Since(c.start))
-			c.reply <- knnReply{res: res}
+		} else {
+			// Scatter: one shared traversal per non-empty shard, each
+			// query clamped to the shard's cardinality; gather through
+			// the canonical bounded top-k merge.
+			perShard := make([][]query.Result, len(sns))
+			shardKs := make([]int, len(qs))
+			for si, sn := range sns {
+				np := sn.ft.NumPoints
+				if np == 0 {
+					continue
+				}
+				for i, k := range ks {
+					if k < np {
+						shardKs[i] = k
+					} else {
+						shardKs[i] = np
+					}
+				}
+				perShard[si] = query.KNNSearchFlatBatch(sn.ft, qs, shardKs)
+			}
+			parts := make([]query.Result, 0, len(sns))
+			for i, c := range knns {
+				parts = parts[:0]
+				for si := range sns {
+					if perShard[si] != nil {
+						parts = append(parts, perShard[si][i])
+					}
+				}
+				s.answerKNN(c, query.KNNMerge(c.q, ks[i], parts), maxGen)
+			}
 		}
 	}
-	sn.release()
+	releaseAll(sns)
+}
+
+// answerKNN materializes one k-NN answer and completes the call.
+func (s *Server) answerKNN(c *call, r query.Result, gen int64) {
+	res := Result{
+		Neighbors:    copyNeighbors(r.Neighbors, s.dim),
+		LeafAccesses: r.LeafAccesses,
+		DirAccesses:  r.DirAccesses,
+		Radius:       r.Radius,
+		Generation:   gen,
+	}
+	s.knnLat.Observe(time.Since(c.start))
+	c.reply <- reply{res: res}
 }
 
 // copyNeighbors materializes private copies of neighbor rows, which
-// alias the snapshot's packed point matrix (the KNNSearchFlat aliasing
-// contract). One backing array serves all rows.
+// alias the snapshots' packed point matrices (the KNNSearchFlat
+// aliasing contract). One backing array serves all rows.
 func copyNeighbors(nbrs [][]float64, dim int) [][]float64 {
 	if len(nbrs) == 0 {
 		return nbrs
@@ -615,58 +934,100 @@ func copyNeighbors(nbrs [][]float64, dim int) [][]float64 {
 	return out
 }
 
+// ShardStats is the per-shard slice of Stats.
+type ShardStats struct {
+	// Points is the number of points in the shard's current snapshot.
+	Points int
+	// Generation is the publication event that produced the shard's
+	// current snapshot.
+	Generation int64
+	// Publications counts the snapshots this shard published.
+	Publications int64
+	// BytesWritten is the shard's cumulative durable snapshot bytes.
+	BytesWritten int64
+	// Mapped reports whether the shard's current snapshot is served
+	// zero-copy from a read-only file mapping.
+	Mapped bool
+}
+
 // Stats is a point-in-time digest of the server.
 type Stats struct {
-	// Points is the number of points in the current snapshot (ingested
-	// but unpublished points are excluded).
+	// Points is the number of points across the current snapshots
+	// (ingested but unpublished points are excluded).
 	Points int
-	// Generation is the current snapshot's generation number.
+	// Generation is the number of publication events so far. Each
+	// event republishes only its dirty shards.
 	Generation int64
+	// Publications counts snapshots published across all shards; with
+	// one shard it equals Generation.
+	Publications int64
 	// RetiredSnapshots counts superseded snapshots whose pins drained.
 	RetiredSnapshots int64
 	// Overloads counts ErrOverloaded rejections.
 	Overloads int64
-	// Deadlines counts queries that aged past Config.QueueTimeout on
+	// Deadlines counts calls that aged past Config.QueueTimeout on
 	// the admission queue and failed with ErrDeadline.
 	Deadlines int64
-	// Mapped reports whether the current snapshot is served zero-copy
-	// from a read-only file mapping (mmap backend) rather than resident
-	// arrays.
+	// FlattenTime is the cumulative time spent re-flattening shards at
+	// publication, and BytesWritten the cumulative durable bytes
+	// (snapshot files plus manifests). Their per-generation rates are
+	// the publication cost sharding divides by S.
+	FlattenTime  time.Duration
+	BytesWritten int64
+	// Mapped reports whether every current snapshot is served
+	// zero-copy from a read-only file mapping (mmap backend) rather
+	// than resident arrays.
 	Mapped bool
+	// Shards holds the per-shard breakdown, in shard order.
+	Shards []ShardStats
 	// KNN and Range are the latency digests (queue wait plus search).
 	KNN, Range obs.LatencySummary
 }
 
 // Stats digests the server's counters and latency sketches.
 func (s *Server) Stats() Stats {
-	sn := s.acquire()
+	sns := s.acquireAll()
 	st := Stats{
-		Points:           sn.ft.NumPoints,
-		Generation:       sn.gen,
+		Generation:       s.gens.Load(),
+		Publications:     s.pubs.Load(),
 		RetiredSnapshots: s.retires.Load(),
 		Overloads:        s.overloads.Load(),
 		Deadlines:        s.deadlines.Load(),
-		Mapped:           sn.pg != nil,
+		FlattenTime:      time.Duration(s.flatNS.Load()),
+		BytesWritten:     s.bytesW.Load(),
+		Mapped:           true,
+		Shards:           make([]ShardStats, len(sns)),
 		KNN:              s.knnLat.Summary(),
 		Range:            s.rangeLat.Summary(),
 	}
-	sn.release()
+	for i, sn := range sns {
+		sh := s.shards[i]
+		st.Points += sn.ft.NumPoints
+		mapped := sn.pg != nil
+		st.Mapped = st.Mapped && mapped
+		st.Shards[i] = ShardStats{
+			Points:       sn.ft.NumPoints,
+			Generation:   sn.gen,
+			Publications: sh.pubs.Load(),
+			BytesWritten: sh.bytes.Load(),
+			Mapped:       mapped,
+		}
+	}
+	releaseAll(sns)
 	return st
 }
 
-// Generation returns the current snapshot's generation number.
-func (s *Server) Generation() int64 {
-	sn := s.acquire()
-	g := sn.gen
-	sn.release()
-	return g
-}
+// Generation returns the number of publication events so far.
+func (s *Server) Generation() int64 { return s.gens.Load() }
 
-// Len returns the number of points in the current snapshot.
+// Len returns the number of points across the current snapshots.
 func (s *Server) Len() int {
-	sn := s.acquire()
-	n := sn.ft.NumPoints
-	sn.release()
+	sns := s.acquireAll()
+	n := 0
+	for _, sn := range sns {
+		n += sn.ft.NumPoints
+	}
+	releaseAll(sns)
 	return n
 }
 
@@ -681,7 +1042,7 @@ func (s *Server) Close() error {
 	}
 	close(s.done)
 	s.wg.Wait()
-	// Sender barrier: every KNN that passed its closed re-check under
+	// Sender barrier: every call that passed its closed re-check under
 	// the shared lock has finished its send once this exclusive
 	// acquisition succeeds; later senders observe closed. The drain
 	// below is therefore exhaustive.
@@ -696,7 +1057,7 @@ func (s *Server) Close() error {
 	for {
 		select {
 		case c := <-s.queue:
-			c.reply <- knnReply{err: ErrClosed}
+			c.reply <- reply{err: ErrClosed}
 		default:
 			return nil
 		}

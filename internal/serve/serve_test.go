@@ -69,7 +69,7 @@ func TestServeKNNMatchesDirectSearch(t *testing.T) {
 	defer s.Close()
 	// The server ingests through the dynamic tree, so compare against
 	// a direct flat search over the server's own snapshot.
-	sn := s.acquire()
+	sn := s.shards[0].acquire()
 	defer sn.release()
 	queries := uniform(20, 8, 2)
 	for _, q := range queries {
@@ -151,7 +151,7 @@ func TestServeRangeCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	sn := s.acquire()
+	sn := s.shards[0].acquire()
 	defer sn.release()
 	for _, q := range uniform(10, 5, 7) {
 		n, gen, err := s.RangeCount(q, 0.4)
@@ -174,19 +174,19 @@ func TestServeBackpressure(t *testing.T) {
 	s := &Server{
 		cfg:      Config{QueueDepth: 2, BatchSize: 4, FlattenEvery: 1024}.withDefaults(),
 		dim:      2,
-		dyn:      rtree.NewDynamic(rtree.NewGeometry(2)),
-		queue:    make(chan *knnCall, 2),
+		shards:   []*shard{{dyn: rtree.NewDynamic(rtree.NewGeometry(2))}},
+		queue:    make(chan *call, 2),
 		done:     make(chan struct{}),
 		knnLat:   obs.NewLatencySketch(16),
 		rangeLat: obs.NewLatencySketch(16),
 	}
-	s.dyn.Insert([]float64{0, 0})
+	s.shards[0].dyn.Insert([]float64{0, 0})
 	s.mu.Lock()
-	s.publishLocked()
+	s.publishLocked(s.shards)
 	s.mu.Unlock()
 	q := []float64{0.5, 0.5}
-	s.queue <- &knnCall{q: q, k: 1}
-	s.queue <- &knnCall{q: q, k: 1}
+	s.queue <- &call{q: q, k: 1}
+	s.queue <- &call{q: q, k: 1}
 	if _, err := s.KNN(q, 1); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
@@ -203,25 +203,25 @@ func TestServeQueueTimeout(t *testing.T) {
 	s := &Server{
 		cfg:      Config{QueueDepth: 8, BatchSize: 8, FlattenEvery: 1024, QueueTimeout: 10 * time.Millisecond}.withDefaults(),
 		dim:      2,
-		dyn:      rtree.NewDynamic(rtree.NewGeometry(2)),
-		queue:    make(chan *knnCall, 8),
+		shards:   []*shard{{dyn: rtree.NewDynamic(rtree.NewGeometry(2))}},
+		queue:    make(chan *call, 8),
 		done:     make(chan struct{}),
 		knnLat:   obs.NewLatencySketch(16),
 		rangeLat: obs.NewLatencySketch(16),
 	}
-	s.dyn.Insert([]float64{0, 0})
-	s.dyn.Insert([]float64{1, 1})
+	s.shards[0].dyn.Insert([]float64{0, 0})
+	s.shards[0].dyn.Insert([]float64{1, 1})
 	s.mu.Lock()
-	s.publishLocked()
+	s.publishLocked(s.shards)
 	s.mu.Unlock()
 
 	q := []float64{0.1, 0.1}
-	stale1 := &knnCall{q: q, k: 1, start: time.Now().Add(-time.Second), reply: make(chan knnReply, 1)}
-	stale2 := &knnCall{q: q, k: 1, start: time.Now().Add(-50 * time.Millisecond), reply: make(chan knnReply, 1)}
-	fresh := &knnCall{q: q, k: 1, start: time.Now(), reply: make(chan knnReply, 1)}
-	s.serveBatch([]*knnCall{stale1, stale2, fresh})
+	stale1 := &call{q: q, k: 1, start: time.Now().Add(-time.Second), reply: make(chan reply, 1)}
+	stale2 := &call{q: q, k: 1, start: time.Now().Add(-50 * time.Millisecond), reply: make(chan reply, 1)}
+	fresh := &call{q: q, k: 1, start: time.Now(), reply: make(chan reply, 1)}
+	s.serveBatch([]*call{stale1, stale2, fresh})
 
-	for i, c := range []*knnCall{stale1, stale2} {
+	for i, c := range []*call{stale1, stale2} {
 		r := <-c.reply
 		if !errors.Is(r.err, ErrDeadline) {
 			t.Fatalf("stale call %d: err = %v, want ErrDeadline", i, r.err)
@@ -246,18 +246,18 @@ func TestServeQueueTimeoutDisabled(t *testing.T) {
 	s := &Server{
 		cfg:      Config{QueueDepth: 4, BatchSize: 4, FlattenEvery: 1024}.withDefaults(),
 		dim:      2,
-		dyn:      rtree.NewDynamic(rtree.NewGeometry(2)),
-		queue:    make(chan *knnCall, 4),
+		shards:   []*shard{{dyn: rtree.NewDynamic(rtree.NewGeometry(2))}},
+		queue:    make(chan *call, 4),
 		done:     make(chan struct{}),
 		knnLat:   obs.NewLatencySketch(16),
 		rangeLat: obs.NewLatencySketch(16),
 	}
-	s.dyn.Insert([]float64{0, 0})
+	s.shards[0].dyn.Insert([]float64{0, 0})
 	s.mu.Lock()
-	s.publishLocked()
+	s.publishLocked(s.shards)
 	s.mu.Unlock()
-	c := &knnCall{q: []float64{0.2, 0.2}, k: 1, start: time.Now().Add(-time.Hour), reply: make(chan knnReply, 1)}
-	s.serveBatch([]*knnCall{c})
+	c := &call{q: []float64{0.2, 0.2}, k: 1, start: time.Now().Add(-time.Hour), reply: make(chan reply, 1)}
+	s.serveBatch([]*call{c})
 	if r := <-c.reply; r.err != nil {
 		t.Fatalf("aged call with no deadline configured failed: %v", r.err)
 	}
@@ -461,7 +461,7 @@ func TestServeSoak(t *testing.T) {
 	if got, want := s.retires.Load(), gens-1; got != want {
 		t.Fatalf("%d snapshots retired, want %d", got, want)
 	}
-	if s.cur.Load().retired.Load() {
+	if s.shards[0].cur.Load().retired.Load() {
 		t.Fatal("live snapshot retired")
 	}
 	st := s.knnLat.Summary()
@@ -489,7 +489,7 @@ func TestAcquireNeverReturnsRetired(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				sn := s.acquire()
+				sn := s.shards[0].acquire()
 				if sn.retired.Load() {
 					violations.Add(1)
 				}

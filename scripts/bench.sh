@@ -21,10 +21,14 @@
 # d=60) and writes BENCH_knn.json with the best ns/op of each path and
 # the pointer/flat speedup per dimensionality.
 #
-# Also runs the concurrent-serving benchmark (BenchmarkServe at the
-# root: readers querying the live snapshot while a writer ingests and
-# republishes) and writes BENCH_serve.json with the per-query latency
-# quantiles and the sustained throughput.
+# Also runs the concurrent-serving benchmarks (BenchmarkServe and
+# BenchmarkServeShards at the root: readers querying the live snapshot
+# while a writer ingests and republishes, the latter sweeping the
+# serving shard count) and writes BENCH_serve.json with the per-query
+# latency quantiles, the sustained throughput, and the shard sweep —
+# per-publication flatten time and durable bytes at S=1/4/8 plus the
+# S=8-over-S=1 reduction ratios that dirty-shard-only republication
+# buys.
 #
 # Also runs the quantized-prefilter sweep (BenchmarkKNNPrefilter in
 # internal/query, bits 0/4/6/8 plus the auto-calibrated width at d=16
@@ -238,10 +242,29 @@ END {
 echo "wrote $KNNOUT:"
 cat "$KNNOUT"
 
-serveraw="$(go test -run='^$' -bench='^BenchmarkServe$' -benchtime="$BENCHTIME" -count="$COUNT" .)"
+serveraw="$(go test -run='^$' -bench='^BenchmarkServe(Shards)?$' -benchtime="$BENCHTIME" -count="$COUNT" .)"
 echo "$serveraw"
 
 echo "$serveraw" | awk -v out="$SERVEOUT" -v count="$COUNT" -v benchtime="$BENCHTIME" -v procs="$PROCS" '
+/^BenchmarkServeShards\// {
+	# The shard sweep: per-publication flatten time and durable bytes
+	# at each shard count, best (lowest-cost / lowest-latency) of the
+	# -count runs per cell.
+	name = $1
+	if (match(name, /-[0-9]+$/)) gm = substr(name, RSTART + 1, RLENGTH - 1)
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkServeShards\//, "", name)
+	for (i = 4; i < NF; i++) {
+		u = $(i + 1); v = $i + 0
+		key = name SUBSEP u
+		if (u == "flatten_ms_gen" || u == "kb_gen" || u == "p50_us" || u == "p95_us" || u == "p99_us") {
+			if (!(key in sw) || v < sw[key]) sw[key] = v
+		}
+		if (u == "generations" && v > sw[key]) sw[key] = v
+	}
+	if (!(name in sseen)) { sorder[++sn] = name; sseen[name] = 1 }
+	next
+}
 /^BenchmarkServe/ {
 	if (match($1, /-[0-9]+$/)) gm = substr($1, RSTART + 1, RLENGTH - 1)
 	# custom metric columns come as "<value> <unit>" pairs; keep the
@@ -265,7 +288,23 @@ END {
 	printf "  \"knn_latency_us\": {\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f},\n", \
 		m["p50"], m["p95"], m["p99"] > out
 	printf "  \"throughput_qps\": %.1f,\n", m["qps"] > out
-	printf "  \"snapshot_generations\": %.0f\n}\n", m["gen"] > out
+	printf "  \"snapshot_generations\": %.0f,\n", m["gen"] > out
+	printf "  \"shard_sweep\": {\n" > out
+	for (i = 1; i <= sn; i++) {
+		s = sorder[i]
+		printf "    \"%s\": {\"flatten_ms_gen\": %.3f, \"kb_gen\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, \"generations\": %.0f}%s\n", \
+			s, sw[s, "flatten_ms_gen"], sw[s, "kb_gen"], sw[s, "p50_us"], sw[s, "p95_us"], sw[s, "p99_us"], sw[s, "generations"], (i < sn ? "," : "") > out
+	}
+	printf "  }" > out
+	# The publication-cost reductions sharding buys: S=1 cost over S=N
+	# cost, per publication event (>= 2x at S=8 is the acceptance bar).
+	if (sw["s1", "flatten_ms_gen"] > 0 && sw["s8", "flatten_ms_gen"] > 0) {
+		printf ",\n  \"flatten_reduction_s8_vs_s1\": %.2f", \
+			sw["s1", "flatten_ms_gen"] / sw["s8", "flatten_ms_gen"] > out
+		printf ",\n  \"bytes_reduction_s8_vs_s1\": %.2f", \
+			sw["s1", "kb_gen"] / sw["s8", "kb_gen"] > out
+	}
+	printf "\n}\n" > out
 }'
 
 echo "wrote $SERVEOUT:"

@@ -33,9 +33,20 @@ var ErrDeadline = serve.ErrDeadline
 // ServeConfig parameterizes NewServer. The zero value of every field
 // selects a sensible default.
 type ServeConfig struct {
+	// Shards splits the server into that many independently published
+	// shards (default 1, max 64). Ingested points deal round-robin
+	// across shards; when a shard fills, only that shard re-flattens
+	// and rewrites its snapshot, so the steady-state publication cost
+	// is O(N/Shards) instead of O(N). Queries scatter across all
+	// shards and merge — results are bit-identical to an unsharded
+	// server over the same points. With SnapshotPath set, each shard
+	// persists its own snapshot file beside a checksummed manifest;
+	// the shard count of a durable path cannot change across restarts.
+	Shards int
 	// FlattenEvery is the number of ingested points between snapshot
-	// publications (default 1024). Inserted points become visible to
-	// queries at the next publication; Flush forces one.
+	// publications (default 1024, counted per shard). Inserted points
+	// become visible to queries at the next publication; Flush forces
+	// one for every shard with pending points.
 	FlattenEvery int
 	// QueueDepth bounds the k-NN admission queue (default 256); a full
 	// queue rejects with ErrOverloaded.
@@ -95,6 +106,7 @@ func NewServer(points [][]float64, scfg ServeConfig, opts ...Option) (*Server, e
 	}
 	srv, err := serve.New(points, serve.Config{
 		Geometry:      c.geometry(dim),
+		Shards:        scfg.Shards,
 		FlattenEvery:  scfg.FlattenEvery,
 		QueueDepth:    scfg.QueueDepth,
 		BatchSize:     scfg.BatchSize,
@@ -161,13 +173,33 @@ type LatencyStats struct {
 	Mean, P50, P95, P99, Max time.Duration
 }
 
+// ShardServeStats is the per-shard breakdown within ServerStats.
+type ShardServeStats struct {
+	// Points is the number of points in the shard's current snapshot.
+	Points int
+	// Generation is the publication event that produced the shard's
+	// current snapshot.
+	Generation int64
+	// Publications counts the snapshots this shard has published.
+	Publications int64
+	// BytesWritten is the shard's cumulative durable snapshot bytes.
+	BytesWritten int64
+	// Mapped reports whether the shard's current snapshot is served
+	// zero-copy from a read-only file mapping.
+	Mapped bool
+}
+
 // ServerStats is a point-in-time digest of a Server.
 type ServerStats struct {
-	// Points is the size of the current snapshot (ingested but
+	// Points is the size of the current snapshots (ingested but
 	// unpublished points excluded).
 	Points int
-	// Generation counts snapshot publications since start.
+	// Generation counts publication events since start; each event
+	// republishes only its dirty shards.
 	Generation int64
+	// Publications counts snapshots published across all shards; with
+	// one shard it equals Generation.
+	Publications int64
 	// RetiredSnapshots counts superseded snapshots whose readers have
 	// all drained.
 	RetiredSnapshots int64
@@ -176,9 +208,18 @@ type ServerStats struct {
 	// Deadlines counts queries that aged past ServeConfig.QueueTimeout
 	// on the admission queue and failed with ErrDeadline.
 	Deadlines int64
-	// Mapped reports whether the current snapshot is served zero-copy
-	// from a read-only file mapping (ServeConfig.Backend).
+	// FlattenTime is the cumulative time spent re-flattening shards at
+	// publication, and BytesWritten the cumulative durable bytes
+	// (snapshot files plus manifests); their per-generation rates are
+	// the publication cost ServeConfig.Shards divides.
+	FlattenTime time.Duration
+	// BytesWritten is the cumulative durable bytes written.
+	BytesWritten int64
+	// Mapped reports whether every current snapshot is served
+	// zero-copy from a read-only file mapping (ServeConfig.Backend).
 	Mapped bool
+	// Shards holds the per-shard breakdown, in shard order.
+	Shards []ShardServeStats
 	// KNN and Range are the per-query latency digests.
 	KNN, Range LatencyStats
 }
@@ -189,13 +230,27 @@ func (s *Server) Stats() ServerStats {
 	conv := func(l serveLatency) LatencyStats {
 		return LatencyStats{Count: l.Count, Mean: l.Mean, P50: l.P50, P95: l.P95, P99: l.P99, Max: l.Max}
 	}
+	shards := make([]ShardServeStats, len(st.Shards))
+	for i, sh := range st.Shards {
+		shards[i] = ShardServeStats{
+			Points:       sh.Points,
+			Generation:   sh.Generation,
+			Publications: sh.Publications,
+			BytesWritten: sh.BytesWritten,
+			Mapped:       sh.Mapped,
+		}
+	}
 	return ServerStats{
 		Points:           st.Points,
 		Generation:       st.Generation,
+		Publications:     st.Publications,
 		RetiredSnapshots: st.RetiredSnapshots,
 		Overloads:        st.Overloads,
 		Deadlines:        st.Deadlines,
+		FlattenTime:      st.FlattenTime,
+		BytesWritten:     st.BytesWritten,
 		Mapped:           st.Mapped,
+		Shards:           shards,
 		KNN:              conv(st.KNN),
 		Range:            conv(st.Range),
 	}
